@@ -1,0 +1,299 @@
+package mykil_test
+
+// One benchmark per table and figure of the paper's §V evaluation, plus
+// the §III batching claim and the DESIGN.md ablations. Each benchmark
+// regenerates its experiment's data with the same code paths as
+// cmd/mykil-bench and reports the headline numbers via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the entire evaluation.
+//
+// Protocol-latency benchmarks run with 1024-bit RSA to keep b.N key
+// generation affordable; `mykil-bench -exp joinlat -rsabits 2048`
+// reproduces the paper's exact key size.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mykil/internal/bench"
+	"mykil/internal/core"
+	"mykil/internal/crypt"
+	"mykil/internal/simnet"
+)
+
+// BenchmarkTableStorageMember regenerates the §V-A member-storage table
+// (paper: Iolus 32 B, LKH 272 B, Mykil 176 B of symmetric keys).
+func BenchmarkTableStorageMember(b *testing.B) {
+	var r *bench.StorageResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.Storage(bench.PaperGroupSize, 20, bench.PaperArity)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.MemberBytesIolus), "iolus-B")
+	b.ReportMetric(float64(r.MemberBytesLKH), "lkh-B")
+	b.ReportMetric(float64(r.MemberBytesMykil), "mykil-B")
+	if !r.OrderingHolds() {
+		b.Error("paper ordering violated")
+	}
+}
+
+// BenchmarkTableStorageController regenerates the §V-A controller-storage
+// table (paper: Iolus ~80 KB, Mykil ~132 KB, LKH ~4 MB).
+func BenchmarkTableStorageController(b *testing.B) {
+	var r *bench.StorageResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.Storage(bench.PaperGroupSize, 20, bench.PaperArity)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.CtrlBytesIolus), "iolus-B")
+	b.ReportMetric(float64(r.CtrlBytesLKH), "lkh-B")
+	b.ReportMetric(float64(r.CtrlBytesMykil), "mykil-B")
+}
+
+// BenchmarkTableCPULeave regenerates the §V-B per-member key-update
+// distribution for one leave (paper: 50%/25%/12.5%/... members updating
+// 1/2/3/... keys).
+func BenchmarkTableCPULeave(b *testing.B) {
+	var r *bench.CPUResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.CPULeave(bench.PaperGroupSize, bench.PaperAreaSize, bench.PaperArity)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.IolusTotal), "iolus-updates")
+	b.ReportMetric(float64(r.LKHTotal), "lkh-updates")
+	b.ReportMetric(float64(r.MykilTotal), "mykil-updates")
+	if !r.GeometricShapeHolds() {
+		b.Error("geometric distribution violated")
+	}
+}
+
+// BenchmarkFig8LeaveBandwidth regenerates Fig. 8: rekey bytes per leave
+// vs number of areas, for all three protocols.
+func BenchmarkFig8LeaveBandwidth(b *testing.B) {
+	for _, areas := range bench.PaperAreaCounts {
+		b.Run(fmt.Sprintf("areas=%d", areas), func(b *testing.B) {
+			var rows []bench.LeaveBandwidthRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = bench.LeaveBandwidth(bench.PaperGroupSize, []int{areas}, bench.PaperArity)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows[0].IolusBytes), "iolus-B")
+			b.ReportMetric(float64(rows[0].LKHBytes), "lkh-B")
+			b.ReportMetric(float64(rows[0].MykilBytes), "mykil-B")
+		})
+	}
+}
+
+// BenchmarkFig9MykilVsLKH regenerates Fig. 9, the Mykil-vs-LKH zoom of
+// the same sweep (paper: LKH flat ~544 B, Mykil 544->384 B).
+func BenchmarkFig9MykilVsLKH(b *testing.B) {
+	var rows []bench.LeaveBandwidthRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.LeaveBandwidth(bench.PaperGroupSize, bench.PaperAreaCounts, bench.PaperArity)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !bench.Fig8ShapeHolds(rows) {
+		b.Error("figure shape violated")
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	b.ReportMetric(float64(first.MykilBytes), "mykil-1area-B")
+	b.ReportMetric(float64(last.MykilBytes), "mykil-20areas-B")
+	b.ReportMetric(float64(first.LKHBytes), "lkh-B")
+}
+
+// BenchmarkFig10LeaveAggregation regenerates Fig. 10: ten aggregated
+// leaves, Mykil best/worst case vs unaggregated LKH.
+func BenchmarkFig10LeaveAggregation(b *testing.B) {
+	for _, areas := range []int{1, 8, 20} {
+		b.Run(fmt.Sprintf("areas=%d", areas), func(b *testing.B) {
+			var rows []bench.AggregationRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = bench.LeaveAggregation(bench.PaperGroupSize, []int{areas}, 10, bench.PaperArity)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows[0].LKHBytes), "lkh-B")
+			b.ReportMetric(float64(rows[0].MykilWorstBytes), "mykil-worst-B")
+			b.ReportMetric(float64(rows[0].MykilBestBytes), "mykil-best-B")
+		})
+	}
+}
+
+// latencyGroup builds a two-area deployment for the §V-D protocol
+// benchmarks.
+func latencyGroup(b *testing.B, skipVerify bool) *core.Group {
+	b.Helper()
+	g, err := core.New(core.Config{
+		NumAreas:         2,
+		RSABits:          1024,
+		SkipRejoinVerify: skipVerify,
+		Net:              simnet.New(simnet.Config{DefaultLatency: time.Millisecond}),
+		OpTimeout:        time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := g.WarmMemberKeys(b.N); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkJoinProtocol measures the full 7-step join (§V-D; paper:
+// 0.45 s on a Pentium-III LAN with RSA-2048).
+func BenchmarkJoinProtocol(b *testing.B) {
+	g := latencyGroup(b, false)
+	defer g.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := g.NewMember(fmt.Sprintf("j%d", i), core.MemberConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := m.Join(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRejoinProtocol measures the 6-step ticket rejoin including the
+// steps-4/5 verification (§V-D; paper: 0.40 s).
+func BenchmarkRejoinProtocol(b *testing.B) {
+	benchRejoin(b, false)
+}
+
+// BenchmarkRejoinNoVerify measures the rejoin with steps 4-5 disabled
+// (§V-D option 2; paper: 0.28 s).
+func BenchmarkRejoinNoVerify(b *testing.B) {
+	benchRejoin(b, true)
+}
+
+func benchRejoin(b *testing.B, skipVerify bool) {
+	g := latencyGroup(b, skipVerify)
+	defer g.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := g.NewMember(fmt.Sprintf("r%d", i), core.MemberConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Join(); err != nil {
+			b.Fatal(err)
+		}
+		home := m.ControllerID()
+		var target string
+		for _, e := range g.Directory() {
+			if e.ID != home {
+				target = e.ID
+			}
+		}
+		if err := m.Leave(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := m.Rejoin(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRC4Throughput measures the §V-E hand-held data path (paper:
+// ~50 MB/s on a 600 MHz Celeron).
+func BenchmarkRC4Throughput(b *testing.B) {
+	const size = 16 << 20
+	buf := make([]byte, size)
+	key := crypt.NewSymKey()
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		crypt.RC4XOR(key, buf)
+	}
+}
+
+// BenchmarkBatchingSavings measures the §III claim that batching saves
+// 40-60% of key-update multicasts.
+func BenchmarkBatchingSavings(b *testing.B) {
+	var rows []bench.BatchingRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.BatchingSavings(bench.PaperAreaSize, 2000, []int{2}, bench.PaperArity, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].MsgSavingsPct, "msg-savings-%")
+	b.ReportMetric(rows[0].ByteSavingsPct, "byte-savings-%")
+}
+
+// BenchmarkAblationArity sweeps the tree fan-out design choice (the
+// paper, via Wong et al., prescribes 4).
+func BenchmarkAblationArity(b *testing.B) {
+	for _, arity := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("arity=%d", arity), func(b *testing.B) {
+			var rows []bench.ArityRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = bench.AblationArity(bench.PaperAreaSize, []int{arity})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rows[0].LeaveBytes), "leave-B")
+			b.ReportMetric(float64(rows[0].Depth), "depth")
+		})
+	}
+}
+
+// BenchmarkAblationFlushPolicy compares §III-E's flush triggers:
+// data-triggered vs timer-triggered vs the paper's hybrid.
+func BenchmarkAblationFlushPolicy(b *testing.B) {
+	var rows []bench.FlushPolicyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = bench.FlushPolicies(bench.PaperAreaSize, 2000, 10, 0.8, 0.3, bench.PaperArity, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[0].RekeyMsgs), "data-msgs")
+	b.ReportMetric(float64(rows[1].RekeyMsgs), "timer-msgs")
+	b.ReportMetric(float64(rows[2].RekeyMsgs), "hybrid-msgs")
+	b.ReportMetric(rows[2].MeanStaleness, "hybrid-staleness")
+}
+
+// BenchmarkAblationPrune compares the paper's §III-D no-prune policy with
+// pruning under leave/join churn.
+func BenchmarkAblationPrune(b *testing.B) {
+	var r *bench.PruneResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.AblationPrune(bench.PaperAreaSize, 500, bench.PaperArity)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.NoPrune.Splits), "noprune-splits")
+	b.ReportMetric(float64(r.WithPrune.Splits), "prune-splits")
+	b.ReportMetric(float64(r.NoPrune.FinalNodes), "noprune-nodes")
+	b.ReportMetric(float64(r.WithPrune.FinalNodes), "prune-nodes")
+}

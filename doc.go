@@ -1,0 +1,28 @@
+// Package mykil is a from-scratch Go implementation of Mykil, the
+// multi-hierarchy group-key distribution protocol for large secure
+// multicast groups described in "Support for Mobility and Fault Tolerance
+// in Mykil" (Huang & Mishra, DSN 2004).
+//
+// Mykil combines a group-based hierarchy (Iolus-style areas, each with an
+// area controller and an area key, linked into a tree) with a key-based
+// hierarchy (an LKH-style auxiliary-key tree inside every area), and adds
+// the mobility and fault-tolerance machinery that is this paper's
+// contribution: an authenticated 7-step join protocol, Kerberos-style
+// tickets enabling a 6-step rejoin into any area, alive-message failure
+// detection, controller re-parenting, and primary-backup controller
+// replication.
+//
+// The packages under internal/ implement every subsystem; see DESIGN.md
+// for the full inventory and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation. Entry points:
+//
+//   - internal/core: assemble complete deployments (simulated network or
+//     real TCP) — what the examples use;
+//   - internal/keytree: the per-area auxiliary-key tree engine;
+//   - internal/bench: regenerates every table and figure from §V;
+//   - cmd/mykil-bench, cmd/mykil-demo, cmd/mykilnet: runnable binaries.
+//
+// The benchmarks in bench_test.go regenerate each of the paper's tables
+// and figures as Go benchmarks; `go run ./cmd/mykil-bench` prints them as
+// tables with shape verdicts.
+package mykil

@@ -1,0 +1,3 @@
+module mykil
+
+go 1.22

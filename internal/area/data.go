@@ -1,0 +1,346 @@
+package area
+
+import (
+	"time"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+	"mykil/internal/wire"
+)
+
+// flush applies all pending join/leave events in one rekey operation
+// (§III-E) and distributes the results.
+func (c *Controller) flush() {
+	joins := c.pendingJoins
+	leaves := c.pendingLeaves
+	c.pendingJoins = nil
+	c.pendingLeaves = nil
+	c.updateNeeded = false
+	if len(joins) == 0 && len(leaves) == 0 {
+		return
+	}
+	c.applyBatch(joins, leaves)
+}
+
+// applyBatch performs one tree operation covering the given admissions and
+// leaves, then sends: step-7/step-6 welcomes to joiners, fresh paths to
+// displaced members, and the signed rekey multicast to everyone else.
+func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
+	joinIDs := make([]keytree.MemberID, 0, len(joins))
+	for _, p := range joins {
+		joinIDs = append(joinIDs, keytree.MemberID(p.entry.id))
+	}
+	leaveIDs := make([]keytree.MemberID, 0, len(leaves))
+	for _, id := range leaves {
+		leaveIDs = append(leaveIDs, keytree.MemberID(id))
+	}
+
+	oldAreaKey := c.tree.AreaKey()
+	res, err := c.tree.Batch(joinIDs, leaveIDs)
+	if err != nil {
+		c.cfg.Logf("%s: rekey batch failed: %v", c.cfg.ID, err)
+		return
+	}
+	c.rememberAreaKey(oldAreaKey)
+	c.lastRekey = c.clk.Now()
+	c.stats.Add(StatRekeys, 1)
+	c.stats.Add(StatRekeyEntries, int64(res.Update.NumKeys()))
+	for _, p := range joins {
+		if p.rejoin {
+			c.stats.Add(StatRejoins, 1)
+		} else {
+			c.stats.Add(StatJoins, 1)
+		}
+	}
+	c.stats.Add(StatLeaves, int64(len(leaves)))
+
+	for _, id := range leaves {
+		delete(c.members, id)
+	}
+	for _, p := range joins {
+		c.members[p.entry.id] = p.entry
+	}
+
+	// Unicast welcomes to joiners (join step 7 / rejoin step 6).
+	for _, p := range joins {
+		path := res.Joined[keytree.MemberID(p.entry.id)]
+		if p.rejoin {
+			c.sendSealed(p.entry.addr, p.entry.pub, wire.KindRejoinWelcome, wire.RejoinWelcome{
+				TicketBlob: p.entry.ticketBlob,
+				Path:       path,
+				Epoch:      res.Epoch,
+				AreaID:     c.cfg.AreaID,
+				BackupAddr: c.backupAddr(),
+				BackupPub:  c.backupPubDER(),
+			}, true)
+		} else {
+			c.sendSealed(p.entry.addr, p.entry.pub, wire.KindJoinWelcome, wire.JoinWelcome{
+				NonceCAPlus1: p.nonceCA + 1,
+				TicketBlob:   p.entry.ticketBlob,
+				Path:         path,
+				Epoch:        res.Epoch,
+				AreaID:       c.cfg.AreaID,
+				BackupAddr:   c.backupAddr(),
+				BackupPub:    c.backupPubDER(),
+			}, false)
+		}
+	}
+
+	// Unicast fresh paths to members displaced by splits (§III-C).
+	for m, path := range res.Displaced {
+		entry, ok := c.members[string(m)]
+		if !ok {
+			continue
+		}
+		c.sendSealed(entry.addr, entry.pub, wire.KindPathUpdate, wire.PathUpdate{
+			AreaID: c.cfg.AreaID,
+			Epoch:  res.Epoch,
+			Path:   path,
+		}, true)
+	}
+
+	// Multicast the signed rekey message to remaining members (§III-E:
+	// "each key update message is signed using the private key of the
+	// area controller").
+	c.multicastKeyUpdate(res, joins)
+	c.markBackupDirty()
+}
+
+// multicastKeyUpdate distributes a rekey message to every member that did
+// not already receive fresh keys by unicast.
+func (c *Controller) multicastKeyUpdate(res *keytree.BatchResult, joins []pendingAdmission) {
+	if res.Update == nil || len(res.Update.Entries) == 0 {
+		return
+	}
+	skip := make(map[string]bool, len(joins)+len(res.Displaced))
+	for _, p := range joins {
+		skip[p.entry.id] = true
+	}
+	for m := range res.Displaced {
+		skip[string(m)] = true
+	}
+	body, err := wire.PlainBody(wire.KeyUpdate{
+		AreaID:  c.cfg.AreaID,
+		Epoch:   res.Epoch,
+		Entries: res.Update.Entries,
+	})
+	if err != nil {
+		c.cfg.Logf("%s: encoding key update: %v", c.cfg.ID, err)
+		return
+	}
+	f := &wire.Frame{
+		Kind: wire.KindKeyUpdate,
+		From: c.cfg.Transport.Addr(),
+		Body: body,
+		Sig:  c.cfg.Keys.Sign(body),
+	}
+	for id, entry := range c.members {
+		if skip[id] {
+			continue
+		}
+		c.send(entry.addr, f)
+	}
+	c.lastAreaSend = c.clk.Now()
+}
+
+// freshnessRekey rotates the area key with no membership change (§III-E
+// condition 2).
+func (c *Controller) freshnessRekey() {
+	oldAreaKey := c.tree.AreaKey()
+	res := c.tree.RefreshAreaKey()
+	c.rememberAreaKey(oldAreaKey)
+	c.lastRekey = c.clk.Now()
+	c.stats.Add(StatRekeys, 1)
+	c.stats.Add(StatRekeyEntries, int64(res.Update.NumKeys()))
+	c.multicastKeyUpdate(res, nil)
+	c.markBackupDirty()
+}
+
+// handleData forwards one multicast data packet per the Iolus-style rules
+// of Fig. 2. A §III-E batching flush, if pending, happens first so members
+// hold current keys when the data arrives.
+func (c *Controller) handleData(f *wire.Frame) {
+	var d wire.Data
+	if err := wire.DecodePlain(f.Body, &d); err != nil {
+		return
+	}
+	// Dedup per origin. Sequences start at 1.
+	if d.Seq <= c.seenSeq[d.Origin] {
+		return
+	}
+	c.seenSeq[d.Origin] = d.Seq
+
+	if entry, ok := c.members[d.Origin]; ok && entry.addr == f.From {
+		entry.lastSeen = c.clk.Now()
+	}
+
+	// §III-E: "The keys are updated just before the multicast data is
+	// forwarded."
+	if c.updateNeeded {
+		c.flush()
+	}
+
+	switch d.FromArea {
+	case c.cfg.AreaID:
+		// From one of our members (or a child controller injecting into
+		// our area): relay within the area and forward up. If the sender
+		// sealed with an area key we have since rotated (its rekey was
+		// still in flight), recover and re-seal under the current key.
+		dataKey, stale, err := c.openAreaDataKey(d.EncKey)
+		if err != nil {
+			c.cfg.Logf("%s: undecipherable data from %s dropped", c.cfg.ID, d.Origin)
+			return
+		}
+		if stale {
+			d.EncKey = crypt.Seal(c.tree.AreaKey(), dataKey[:])
+		}
+		c.relayToMembers(&d, f.From)
+		c.forwardUp(&d, dataKey)
+	case c.parentAreaID():
+		// From our parent's area: re-seal under our area key and relay
+		// down into our area.
+		if c.parent != nil {
+			c.parent.lastRecv = c.clk.Now()
+		}
+		reseal, err := c.resealData(&d)
+		if err != nil {
+			c.cfg.Logf("%s: resealing data from parent area: %v", c.cfg.ID, err)
+			return
+		}
+		c.relayToMembers(reseal, f.From)
+	default:
+		c.cfg.Logf("%s: data for foreign area %q dropped", c.cfg.ID, d.FromArea)
+	}
+}
+
+// relayToMembers sends the data frame to every area member except the one
+// it arrived from.
+func (c *Controller) relayToMembers(d *wire.Data, exceptAddr string) {
+	body, err := wire.PlainBody(*d)
+	if err != nil {
+		return
+	}
+	f := &wire.Frame{Kind: wire.KindData, From: c.cfg.Transport.Addr(), Body: body}
+	for _, entry := range c.members {
+		if entry.addr == exceptAddr {
+			continue
+		}
+		c.send(entry.addr, f)
+	}
+	c.stats.Add(StatDataRelayed, 1)
+	c.lastAreaSend = c.clk.Now()
+}
+
+// forwardUp re-seals the data key under the parent's area key and sends
+// it to the parent controller.
+func (c *Controller) forwardUp(d *wire.Data, dataKey crypt.SymKey) {
+	if c.parent == nil {
+		return
+	}
+	up := *d
+	up.FromArea = c.parent.areaID
+	up.EncKey = crypt.Seal(c.parent.view.AreaKey(), dataKey[:])
+	body, err := wire.PlainBody(up)
+	if err != nil {
+		return
+	}
+	c.send(c.parent.info.Addr, &wire.Frame{
+		Kind: wire.KindData,
+		From: c.cfg.Transport.Addr(),
+		Body: body,
+	})
+	c.stats.Add(StatDataForwarded, 1)
+	c.parent.lastSent = c.clk.Now()
+}
+
+// resealData rewraps a parent-area data packet for our own area.
+func (c *Controller) resealData(d *wire.Data) (*wire.Data, error) {
+	if c.parent == nil {
+		return nil, crypt.ErrDecrypt
+	}
+	raw, err := crypt.Open(c.parent.view.AreaKey(), d.EncKey)
+	if err != nil {
+		return nil, err
+	}
+	dataKey, err := crypt.SymKeyFromBytes(raw)
+	if err != nil {
+		return nil, err
+	}
+	down := *d
+	down.FromArea = c.cfg.AreaID
+	down.EncKey = crypt.Seal(c.tree.AreaKey(), dataKey[:])
+	return &down, nil
+}
+
+// areaKeyHistoryCap bounds how many rotated-out area keys are kept for
+// in-flight data recovery.
+const areaKeyHistoryCap = 8
+
+// rememberAreaKey pushes a rotated-out area key onto the history.
+func (c *Controller) rememberAreaKey(k crypt.SymKey) {
+	c.areaKeyHistory = append([]crypt.SymKey{k}, c.areaKeyHistory...)
+	if len(c.areaKeyHistory) > areaKeyHistoryCap {
+		c.areaKeyHistory = c.areaKeyHistory[:areaKeyHistoryCap]
+	}
+}
+
+// openAreaDataKey recovers K_d from an own-area data packet, trying the
+// current area key first and then recent predecessors. stale reports
+// whether an old key was needed.
+func (c *Controller) openAreaDataKey(encKey []byte) (key crypt.SymKey, stale bool, err error) {
+	if raw, err := crypt.Open(c.tree.AreaKey(), encKey); err == nil {
+		k, kerr := crypt.SymKeyFromBytes(raw)
+		return k, false, kerr
+	}
+	for _, old := range c.areaKeyHistory {
+		if raw, err := crypt.Open(old, encKey); err == nil {
+			k, kerr := crypt.SymKeyFromBytes(raw)
+			return k, true, kerr
+		}
+	}
+	return crypt.SymKey{}, false, crypt.ErrDecrypt
+}
+
+// handleMemberAlive refreshes a member's liveness (§IV-A).
+func (c *Controller) handleMemberAlive(f *wire.Frame) {
+	var msg wire.MemberAlive
+	if err := wire.DecodePlain(f.Body, &msg); err != nil {
+		return
+	}
+	if entry, ok := c.members[msg.MemberID]; ok && entry.addr == f.From {
+		entry.lastSeen = c.clk.Now()
+	}
+}
+
+// multicastAlive sends the §IV-A alive message within the area.
+func (c *Controller) multicastAlive() {
+	body, err := wire.PlainBody(wire.ACAlive{AreaID: c.cfg.AreaID, Epoch: c.tree.Epoch()})
+	if err != nil {
+		return
+	}
+	f := &wire.Frame{Kind: wire.KindACAlive, From: c.cfg.Transport.Addr(), Body: body}
+	for _, entry := range c.members {
+		c.send(entry.addr, f)
+	}
+	c.lastAreaSend = c.clk.Now()
+}
+
+// evictSilentMembers terminates membership of members silent for
+// 5×T_active (§IV-A/§IV-C).
+func (c *Controller) evictSilentMembers(now time.Time) {
+	threshold := time.Duration(DefaultSilenceFactor) * c.cfg.TActive
+	var gone []string
+	for id, entry := range c.members {
+		if entry.lastSeen.IsZero() {
+			continue // already queued to leave in the pending batch
+		}
+		if now.Sub(entry.lastSeen) > threshold {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		c.cfg.Logf("%s: terminating silent member %s", c.cfg.ID, id)
+		c.stats.Add(StatEvictions, 1)
+		c.removeMember(id)
+	}
+}

@@ -1,0 +1,236 @@
+package area
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+	"mykil/internal/wire"
+)
+
+// State is the minimal replicated state of §IV-C: "the complete auxiliary
+// tree, public keys of the area members, area controllers and the
+// registration server, and the identities of the parent area controller
+// and all child area controllers". Multicast data in flight is expressly
+// NOT replicated.
+type State struct {
+	AreaID string
+	Tree   *keytree.Snapshot
+	// Members carries each member's identity, address, public key,
+	// sealed ticket, and child-controller flag.
+	Members []MemberState
+	// Parent identifies the parent controller and our view of its area.
+	Parent *ParentStateExport
+	Seq    uint64
+}
+
+// MemberState is one member's replicated record.
+type MemberState struct {
+	ID         string
+	Addr       string
+	PubDER     []byte
+	TicketBlob []byte
+	IsChildAC  bool
+}
+
+// ParentStateExport captures the parent link. The member view of the
+// parent area cannot be reconstructed from the parent's epoch alone, so
+// the path keys are included.
+type ParentStateExport struct {
+	ID     string
+	Addr   string
+	PubDER []byte
+	AreaID string
+	Path   []keytree.PathKey
+	Epoch  uint64
+}
+
+// exportState captures the controller's replicated state. Runs on the
+// loop.
+func (c *Controller) exportState() *State {
+	st := &State{
+		AreaID: c.cfg.AreaID,
+		Tree:   c.tree.Export(),
+		Seq:    c.stateSeq,
+	}
+	st.Members = make([]MemberState, 0, len(c.members))
+	for _, e := range c.members {
+		st.Members = append(st.Members, MemberState{
+			ID:         e.id,
+			Addr:       e.addr,
+			PubDER:     e.pubDER,
+			TicketBlob: e.ticketBlob,
+			IsChildAC:  e.isChildAC,
+		})
+	}
+	if c.parent != nil {
+		st.Parent = &ParentStateExport{
+			ID:     c.parent.info.ID,
+			Addr:   c.parent.info.Addr,
+			PubDER: c.parent.info.Pub.Marshal(),
+			AreaID: c.parent.areaID,
+			Path:   c.parent.view.PathKeys(),
+			Epoch:  c.parent.view.Epoch(),
+		}
+	}
+	return st
+}
+
+// EncodeState serializes a State for transmission.
+func EncodeState(st *State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("area: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState reverses EncodeState.
+func DecodeState(b []byte) (*State, error) {
+	var st State
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("area: decoding state: %w", err)
+	}
+	return &st, nil
+}
+
+// NewFromState builds a controller whose area state (tree, members,
+// parent link) is restored from a replica snapshot — the §IV-C backup
+// takeover path. The new controller serves under its own transport,
+// identity, and key pair.
+func NewFromState(cfg Config, st *State) (*Controller, error) {
+	cfg.AreaID = st.AreaID
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := keytree.Import(st.Tree, keytree.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("area: restoring tree: %w", err)
+	}
+	c.tree = tree
+	now := c.clk.Now()
+	for _, m := range st.Members {
+		pub, err := crypt.ParsePublicKey(m.PubDER)
+		if err != nil {
+			return nil, fmt.Errorf("area: member %s key: %w", m.ID, err)
+		}
+		c.members[m.ID] = &memberEntry{
+			id:         m.ID,
+			addr:       m.Addr,
+			pubDER:     m.PubDER,
+			pub:        pub,
+			lastSeen:   now,
+			ticketBlob: m.TicketBlob,
+			isChildAC:  m.IsChildAC,
+		}
+	}
+	if st.Parent != nil {
+		pub, err := crypt.ParsePublicKey(st.Parent.PubDER)
+		if err != nil {
+			return nil, fmt.Errorf("area: parent key: %w", err)
+		}
+		c.parent = &parentState{
+			info:     PeerInfo{ID: st.Parent.ID, Addr: st.Parent.Addr, Pub: pub},
+			areaID:   st.Parent.AreaID,
+			view:     keytree.NewMemberView(st.Parent.Path, st.Parent.Epoch, keytree.SealingEncryptor{}),
+			lastRecv: now,
+			lastSent: now,
+		}
+	}
+	c.stateSeq = st.Seq
+	return c, nil
+}
+
+// AnnounceFailover multicasts a signed takeover notice to every member of
+// the restored area and re-announces to the parent. Call after Start on a
+// controller built with NewFromState.
+func (c *Controller) AnnounceFailover() {
+	c.enqueue(func() {
+		body, err := wire.PlainBody(wire.ACFailover{
+			AreaID:  c.cfg.AreaID,
+			NewAddr: c.cfg.Transport.Addr(),
+			NewPub:  c.cfg.Keys.Public().Marshal(),
+			Epoch:   c.tree.Epoch(),
+		})
+		if err != nil {
+			return
+		}
+		f := &wire.Frame{
+			Kind: wire.KindACFailover,
+			From: c.cfg.Transport.Addr(),
+			Body: body,
+			Sig:  c.cfg.Keys.Sign(body),
+		}
+		for _, entry := range c.members {
+			c.send(entry.addr, f)
+		}
+		c.lastAreaSend = c.clk.Now()
+		// Resume the member role in the parent area from the new address
+		// by re-joining it.
+		if c.parent != nil {
+			parent := c.parent.info
+			c.parent = nil
+			c.requestParent(parent)
+		}
+	})
+}
+
+// markBackupDirty schedules a state sync at the next replica tick.
+func (c *Controller) markBackupDirty() {
+	c.stateSeq++
+	if c.cfg.Backup != nil {
+		c.backupDirty = true
+	}
+}
+
+// replicaHousekeeping ships heartbeats and, when dirty, state snapshots
+// to the backup (§IV-C: "Primary and backup servers are synchronized
+// during any key updates, and whenever there is a change in the
+// parent/child area controllers").
+func (c *Controller) replicaHousekeeping(now time.Time) {
+	if c.cfg.Backup == nil {
+		return
+	}
+	if c.backupDirty {
+		c.backupDirty = false
+		st := c.exportState()
+		blob, err := EncodeState(st)
+		if err != nil {
+			c.cfg.Logf("%s: encoding replica state: %v", c.cfg.ID, err)
+			return
+		}
+		c.sendSealed(c.cfg.Backup.Addr, c.cfg.Backup.Pub, wire.KindReplicaSync, wire.ReplicaSync{
+			AreaID: c.cfg.AreaID,
+			Seq:    st.Seq,
+			State:  blob,
+		}, true)
+		c.lastSyncSeq = st.Seq
+	}
+	if now.Sub(c.lastHeartbeat) >= c.cfg.HeartbeatEvery {
+		c.lastHeartbeat = now
+		c.sendPlain(c.cfg.Backup.Addr, wire.KindReplicaHeartbeat, wire.ReplicaHeartbeat{
+			AreaID: c.cfg.AreaID,
+			Seq:    c.stateSeq,
+		}, true)
+	}
+}
+
+// backupAddr returns the configured backup address or "".
+func (c *Controller) backupAddr() string {
+	if c.cfg.Backup == nil {
+		return ""
+	}
+	return c.cfg.Backup.Addr
+}
+
+// backupPubDER returns the configured backup public key or nil.
+func (c *Controller) backupPubDER() []byte {
+	if c.cfg.Backup == nil {
+		return nil
+	}
+	return c.cfg.Backup.Pub.Marshal()
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"mykil/internal/keytree"
+)
+
+// ArityRow is one point of the tree-arity ablation: the paper asserts
+// (following Wong et al.) that 4-way trees give the best overall
+// performance; this sweep shows the trade-off our engine actually makes.
+type ArityRow struct {
+	Arity           int
+	Depth           int
+	MemberKeys      int
+	LeaveBytes      int // multicast rekey per single leave
+	JoinBytes       int // multicast rekey per single join
+	ControllerNodes int
+}
+
+// AblationArity sweeps tree fan-out for one area of n members.
+func AblationArity(n int, arities []int) ([]ArityRow, error) {
+	rows := make([]ArityRow, 0, len(arities))
+	for _, a := range arities {
+		tree, err := buildTree(n, a, int64(500+a))
+		if err != nil {
+			return nil, err
+		}
+		lres, err := tree.Leave("m1")
+		if err != nil {
+			return nil, err
+		}
+		jres, err := tree.Join("late-joiner")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ArityRow{
+			Arity:           a,
+			Depth:           tree.Depth(),
+			MemberKeys:      tree.MaxMemberKeyCount(),
+			LeaveBytes:      lres.Update.PaperBytes(),
+			JoinBytes:       jres.Update.PaperBytes(),
+			ControllerNodes: tree.NumNodes(),
+		})
+	}
+	return rows, nil
+}
+
+// ArityTable renders the arity ablation.
+func ArityTable(rows []ArityRow, n int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("ablation — tree arity for one area of %d members", n),
+		Headers: []string{"arity", "depth", "member keys", "leave bytes", "join bytes", "ctrl nodes"},
+		Notes: []string{
+			"leave cost ≈ arity × depth keys: low arity deepens the tree, high arity widens each update",
+			"paper (via Wong et al.): arity 4 is the best overall compromise",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Arity), fmt.Sprint(r.Depth), fmt.Sprint(r.MemberKeys),
+			fmt.Sprint(r.LeaveBytes), fmt.Sprint(r.JoinBytes), fmt.Sprint(r.ControllerNodes),
+		})
+	}
+	return t
+}
+
+// PruneResult compares the paper's keep-vacated-leaves policy (§III-D)
+// against pruning, under a leave-then-rejoin churn.
+type PruneResult struct {
+	N         int
+	Churn     int
+	NoPrune   PrunePolicyStats
+	WithPrune PrunePolicyStats
+}
+
+// PrunePolicyStats aggregates one policy's behaviour.
+type PrunePolicyStats struct {
+	// Splits counts joins that had to split a leaf (expensive: extra
+	// unicast to the displaced member).
+	Splits int
+	// JoinBytes sums multicast rekey bytes across all churn joins.
+	JoinBytes int
+	// FinalNodes is the controller's key count after the churn.
+	FinalNodes int
+}
+
+// AblationPrune runs `churn` rounds against both policies. Each round a
+// whole sibling cohort leaves in one batch — the pattern that lets the
+// pruning policy collapse subtrees — and the same number of newcomers
+// join one by one. Under the paper's no-prune policy the vacated leaves
+// are reused; under pruning the joins must re-split.
+func AblationPrune(n, churn, arity int) (*PruneResult, error) {
+	run := func(prune bool, seed int64) (PrunePolicyStats, error) {
+		var st PrunePolicyStats
+		tree := keytree.New(keytree.Config{
+			Arity:     arity,
+			Encryptor: keytree.AccountingEncryptor{},
+			KeyGen:    FastKeyGen(seed),
+			Prune:     prune,
+		})
+		if err := tree.Preload(memberIDs(n)); err != nil {
+			return st, err
+		}
+		next := n
+		for i := 0; i < churn; i++ {
+			// A full sibling cohort leaves together. Map iteration order
+			// is random; anchor on the lexicographically smallest member
+			// for reproducible runs.
+			members := tree.Members()
+			anchor := members[0]
+			for _, m := range members[1:] {
+				if m < anchor {
+					anchor = m
+				}
+			}
+			cohort, err := tree.CohortOf(anchor, arity)
+			if err != nil {
+				return st, err
+			}
+			if _, err := tree.BatchLeave(cohort); err != nil {
+				return st, err
+			}
+			for j := 0; j < len(cohort); j++ {
+				res, err := tree.Join(keytree.MemberID(fmt.Sprintf("r%d", next)))
+				next++
+				if err != nil {
+					return st, err
+				}
+				if len(res.Displaced) > 0 {
+					st.Splits++
+				}
+				st.JoinBytes += res.Update.PaperBytes()
+			}
+		}
+		st.FinalNodes = tree.NumNodes()
+		return st, nil
+	}
+	var (
+		r   = &PruneResult{N: n, Churn: churn}
+		err error
+	)
+	if r.NoPrune, err = run(false, 601); err != nil {
+		return nil, err
+	}
+	if r.WithPrune, err = run(true, 602); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Table renders the prune ablation.
+func (r *PruneResult) Table() *Table {
+	return &Table{
+		Title:   fmt.Sprintf("ablation — no-prune (paper §III-D) vs prune, %d members, %d leave+join rounds", r.N, r.Churn),
+		Headers: []string{"policy", "splits on join", "join rekey bytes", "final ctrl nodes"},
+		Rows: [][]string{
+			{"keep vacated leaves", fmt.Sprint(r.NoPrune.Splits), fmt.Sprint(r.NoPrune.JoinBytes), fmt.Sprint(r.NoPrune.FinalNodes)},
+			{"prune empty subtrees", fmt.Sprint(r.WithPrune.Splits), fmt.Sprint(r.WithPrune.JoinBytes), fmt.Sprint(r.WithPrune.FinalNodes)},
+		},
+		Notes: []string{
+			"paper's rationale: keeping vacated leaves makes joins cheap (no splits); the cost is retained tree nodes",
+		},
+	}
+}
+
+// NoPruneCheaperJoins checks the paper's rationale empirically.
+func (r *PruneResult) NoPruneCheaperJoins() bool {
+	return r.NoPrune.Splits <= r.WithPrune.Splits
+}

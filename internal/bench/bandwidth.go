@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// LeaveBandwidthRow is one point of Fig. 8/9: rekey bytes per leave event
+// as a function of how many areas the 100,000-member group is split into.
+type LeaveBandwidthRow struct {
+	Areas      int
+	AreaSize   int
+	IolusBytes int
+	LKHBytes   int
+	MykilBytes int
+}
+
+// LeaveBandwidth sweeps the Fig. 8/9 x-axis. Iolus and Mykil operate on a
+// subgroup/area of n/areas members; LKH always runs one global tree.
+func LeaveBandwidth(n int, areaCounts []int, arity int) ([]LeaveBandwidthRow, error) {
+	// LKH is independent of the area count: compute once.
+	lkhSrv, err := buildLKH(n, arity, 21)
+	if err != nil {
+		return nil, err
+	}
+	lres, err := lkhSrv.Leave("m0")
+	if err != nil {
+		return nil, err
+	}
+	lkhBytes := lres.Update.PaperBytes()
+
+	rows := make([]LeaveBandwidthRow, 0, len(areaCounts))
+	for _, areas := range areaCounts {
+		size := n / areas
+		sg := buildIolus(size, int64(100+areas))
+		itr, err := sg.Leave("m0")
+		if err != nil {
+			return nil, err
+		}
+		tree, err := buildTree(size, arity, int64(200+areas))
+		if err != nil {
+			return nil, err
+		}
+		mres, err := tree.Leave("m0")
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LeaveBandwidthRow{
+			Areas:      areas,
+			AreaSize:   size,
+			IolusBytes: itr.TotalBytes(),
+			LKHBytes:   lkhBytes,
+			MykilBytes: mres.Update.PaperBytes(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig8Table renders the full three-protocol comparison.
+func Fig8Table(rows []LeaveBandwidthRow) *Table {
+	t := &Table{
+		Title:   "Fig. 8 — bandwidth per leave event vs number of areas (bytes)",
+		Headers: []string{"areas", "Iolus", "LKH", "Mykil"},
+		Notes: []string{
+			"paper: Iolus 1.6 MB at 1 area dropping to 80 KB at 20; LKH flat ~544 B; Mykil ≤ LKH, decreasing",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Areas), fmt.Sprint(r.IolusBytes),
+			fmt.Sprint(r.LKHBytes), fmt.Sprint(r.MykilBytes),
+		})
+	}
+	return t
+}
+
+// Fig9Table renders the Mykil-vs-LKH zoom.
+func Fig9Table(rows []LeaveBandwidthRow) *Table {
+	t := &Table{
+		Title:   "Fig. 9 — Mykil vs LKH bandwidth per leave event (bytes)",
+		Headers: []string{"areas", "LKH", "Mykil"},
+		Notes: []string{
+			"paper: LKH ~544 B flat; Mykil falls from ~544 B toward ~384 B as areas grow",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Areas), fmt.Sprint(r.LKHBytes), fmt.Sprint(r.MykilBytes),
+		})
+	}
+	return t
+}
+
+// Fig8ShapeHolds checks the qualitative claims: Iolus scales linearly
+// with area size and dwarfs the tree protocols at small area counts;
+// Mykil never exceeds LKH and decreases with more areas.
+func Fig8ShapeHolds(rows []LeaveBandwidthRow) bool {
+	if len(rows) < 2 {
+		return false
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if first.IolusBytes <= first.LKHBytes {
+		return false // Iolus must dominate with one big area
+	}
+	if first.IolusBytes <= last.IolusBytes {
+		return false // Iolus must fall as areas grow
+	}
+	for _, r := range rows {
+		if r.MykilBytes > r.LKHBytes {
+			return false
+		}
+	}
+	return last.MykilBytes < first.MykilBytes ||
+		first.MykilBytes == last.MykilBytes && first.AreaSize == last.AreaSize
+}
+
+// AggregationRow is one point of Fig. 10: bytes to rekey after k leaves,
+// aggregated (Mykil best/worst case) vs unaggregated LKH.
+type AggregationRow struct {
+	Areas           int
+	AreaSize        int
+	LKHBytes        int
+	MykilWorstBytes int
+	MykilBestBytes  int
+}
+
+// LeaveAggregation sweeps Fig. 10: k members leave together; LKH rekeys
+// each individually (no aggregation), Mykil aggregates — best case the
+// leavers cluster in one subtree, worst case they are spread evenly.
+func LeaveAggregation(n int, areaCounts []int, k, arity int) ([]AggregationRow, error) {
+	// LKH: k individual leaves on the global tree.
+	lkhSrv, err := buildLKH(n, arity, 31)
+	if err != nil {
+		return nil, err
+	}
+	lkhBytes := 0
+	spread := lkhSrv.Tree().SpreadMembers(k)
+	for _, m := range spread {
+		res, err := lkhSrv.Leave(m)
+		if err != nil {
+			return nil, err
+		}
+		lkhBytes += res.Update.PaperBytes()
+	}
+
+	rows := make([]AggregationRow, 0, len(areaCounts))
+	for _, areas := range areaCounts {
+		size := n / areas
+		// Worst case: leavers maximally spread within the area.
+		worstTree, err := buildTree(size, arity, int64(300+areas))
+		if err != nil {
+			return nil, err
+		}
+		worst, err := worstTree.BatchLeave(worstTree.SpreadMembers(k))
+		if err != nil {
+			return nil, err
+		}
+		// Best case: leavers from one subtree.
+		bestTree, err := buildTree(size, arity, int64(400+areas))
+		if err != nil {
+			return nil, err
+		}
+		cohort, err := bestTree.CohortOf("m0", k)
+		if err != nil {
+			return nil, err
+		}
+		best, err := bestTree.BatchLeave(cohort)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AggregationRow{
+			Areas:           areas,
+			AreaSize:        size,
+			LKHBytes:        lkhBytes,
+			MykilWorstBytes: worst.Update.PaperBytes(),
+			MykilBestBytes:  best.Update.PaperBytes(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig10Table renders the aggregation comparison.
+func Fig10Table(rows []AggregationRow, k int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Fig. 10 — %d aggregated leaves: bytes per rekey", k),
+		Headers: []string{"areas", "LKH (no agg)", "Mykil worst", "Mykil best"},
+		Notes: []string{
+			"paper: LKH ~5.4 KB for 10 separate leaves; Mykil aggregated well below, best ≪ worst",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.Areas), fmt.Sprint(r.LKHBytes),
+			fmt.Sprint(r.MykilWorstBytes), fmt.Sprint(r.MykilBestBytes),
+		})
+	}
+	return t
+}
+
+// Fig10ShapeHolds checks best ≤ worst < LKH for every row.
+func Fig10ShapeHolds(rows []AggregationRow) bool {
+	for _, r := range rows {
+		if r.MykilBestBytes > r.MykilWorstBytes || r.MykilWorstBytes >= r.LKHBytes {
+			return false
+		}
+	}
+	return len(rows) > 0
+}

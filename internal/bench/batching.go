@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mykil/internal/keytree"
+)
+
+// BatchingRow is one point of the §III batching-savings experiment:
+// rekey multicasts with and without §III-E aggregation for a given churn
+// density (membership events arriving between consecutive data packets).
+type BatchingRow struct {
+	EventsPerFlush int
+	UnbatchedMsgs  int
+	BatchedMsgs    int
+	MsgSavingsPct  float64
+	UnbatchedBytes int
+	BatchedBytes   int
+	ByteSavingsPct float64
+}
+
+// BatchingSavings replays the same random join/leave workload against two
+// identical trees: one rekeying per event, one aggregating every
+// eventsPerFlush events into a single §III-E batch. Message counts are
+// multicast key-update messages; bytes use the paper's accounting.
+func BatchingSavings(initial, events int, eventsPerFlush []int, arity int, seed int64) ([]BatchingRow, error) {
+	rows := make([]BatchingRow, 0, len(eventsPerFlush))
+	for _, epf := range eventsPerFlush {
+		row, err := batchingRun(initial, events, epf, arity, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+type churnEvent struct {
+	join bool
+	id   keytree.MemberID
+}
+
+// makeChurn builds a reproducible event sequence over an initial
+// population: an even mix of joins of new members and leaves of present
+// ones.
+func makeChurn(initial, events int, seed int64) []churnEvent {
+	rng := rand.New(rand.NewSource(seed))
+	present := make([]keytree.MemberID, initial)
+	for i := range present {
+		present[i] = keytree.MemberID(fmt.Sprintf("m%d", i))
+	}
+	next := initial
+	out := make([]churnEvent, 0, events)
+	for len(out) < events {
+		if rng.Intn(2) == 0 || len(present) < 2 {
+			id := keytree.MemberID(fmt.Sprintf("m%d", next))
+			next++
+			present = append(present, id)
+			out = append(out, churnEvent{join: true, id: id})
+		} else {
+			i := rng.Intn(len(present))
+			id := present[i]
+			present = append(present[:i], present[i+1:]...)
+			out = append(out, churnEvent{join: false, id: id})
+		}
+	}
+	return out
+}
+
+func batchingRun(initial, events, epf, arity int, seed int64) (*BatchingRow, error) {
+	churn := makeChurn(initial, events, seed)
+
+	newTree := func(s int64) (*keytree.Tree, error) {
+		return buildTree(initial, arity, s)
+	}
+
+	// Unbatched: one rekey operation (one multicast) per event.
+	unb, err := newTree(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	unbMsgs, unbBytes := 0, 0
+	for _, ev := range churn {
+		var res *keytree.BatchResult
+		if ev.join {
+			res, err = unb.Join(ev.id)
+		} else {
+			res, err = unb.Leave(ev.id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if res.Update.NumKeys() > 0 {
+			unbMsgs++
+			unbBytes += res.Update.PaperBytes()
+		}
+	}
+
+	// Batched: aggregate epf consecutive events per flush (§III-E).
+	bat, err := newTree(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	batMsgs, batBytes := 0, 0
+	for start := 0; start < len(churn); start += epf {
+		end := start + epf
+		if end > len(churn) {
+			end = len(churn)
+		}
+		var joins, leaves []keytree.MemberID
+		for _, ev := range churn[start:end] {
+			if ev.join {
+				joins = append(joins, ev.id)
+				continue
+			}
+			// A member that joined and left within the same window
+			// cancels out entirely — aggregation at its most effective.
+			cancelled := false
+			for i, j := range joins {
+				if j == ev.id {
+					joins = append(joins[:i], joins[i+1:]...)
+					cancelled = true
+					break
+				}
+			}
+			if !cancelled {
+				leaves = append(leaves, ev.id)
+			}
+		}
+		if len(joins) == 0 && len(leaves) == 0 {
+			continue
+		}
+		res, err := bat.Batch(joins, leaves)
+		if err != nil {
+			return nil, err
+		}
+		if res.Update.NumKeys() > 0 {
+			batMsgs++
+			batBytes += res.Update.PaperBytes()
+		}
+	}
+
+	row := &BatchingRow{
+		EventsPerFlush: epf,
+		UnbatchedMsgs:  unbMsgs,
+		BatchedMsgs:    batMsgs,
+		UnbatchedBytes: unbBytes,
+		BatchedBytes:   batBytes,
+	}
+	if unbMsgs > 0 {
+		row.MsgSavingsPct = 100 * (1 - float64(batMsgs)/float64(unbMsgs))
+	}
+	if unbBytes > 0 {
+		row.ByteSavingsPct = 100 * (1 - float64(batBytes)/float64(unbBytes))
+	}
+	return row, nil
+}
+
+// BatchingTable renders the savings sweep.
+func BatchingTable(rows []BatchingRow) *Table {
+	t := &Table{
+		Title:   "§III batching savings — rekey multicasts with vs without aggregation",
+		Headers: []string{"events/flush", "msgs unbatched", "msgs batched", "msg savings %", "bytes unbatched", "bytes batched", "byte savings %"},
+		Notes: []string{
+			"paper claim: batching saves 40-60% of key-update multicast messages",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(r.EventsPerFlush),
+			fmt.Sprint(r.UnbatchedMsgs), fmt.Sprint(r.BatchedMsgs),
+			fmt.Sprintf("%.1f", r.MsgSavingsPct),
+			fmt.Sprint(r.UnbatchedBytes), fmt.Sprint(r.BatchedBytes),
+			fmt.Sprintf("%.1f", r.ByteSavingsPct),
+		})
+	}
+	return t
+}
+
+// BatchingClaimHolds checks that some swept configuration lands in the
+// paper's 40-60% message-savings band.
+func BatchingClaimHolds(rows []BatchingRow) bool {
+	for _, r := range rows {
+		if r.MsgSavingsPct >= 40 && r.MsgSavingsPct <= 60 {
+			return true
+		}
+	}
+	return false
+}

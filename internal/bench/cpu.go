@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"mykil/internal/keytree"
+)
+
+// CPUResult reproduces the §V-B analysis: the distribution over members
+// of how many keys each must update when one member leaves.
+type CPUResult struct {
+	N        int
+	AreaSize int
+	// Counts[k] = members updating exactly k keys.
+	IolusCounts map[int]int
+	LKHCounts   map[int]int
+	MykilCounts map[int]int
+	// Totals are the aggregate key updates across all members — the
+	// group-wide CPU cost.
+	IolusTotal, LKHTotal, MykilTotal int
+	// JoinAffected counts members that must process at least one key
+	// update when one member joins: §V-B's "group key of all members is
+	// updated in LKH, while area key of the members of only one area is
+	// updated in Iolus and Mykil".
+	JoinAffectedIolus, JoinAffectedLKH, JoinAffectedMykil int
+}
+
+// CPULeave measures the §V-B distribution from real trees: a leave in a
+// full-group LKH tree, a leave in one Mykil area tree, and Iolus's flat
+// one-key-per-member update.
+func CPULeave(n, areaSize, arity int) (*CPUResult, error) {
+	r := &CPUResult{
+		N:           n,
+		AreaSize:    areaSize,
+		IolusCounts: map[int]int{1: areaSize - 1},
+		IolusTotal:  areaSize - 1,
+	}
+
+	lkhSrv, err := buildLKH(n, arity, 11)
+	if err != nil {
+		return nil, err
+	}
+	res, err := lkhSrv.Leave("m0")
+	if err != nil {
+		return nil, err
+	}
+	r.LKHCounts = keytree.UpdateCountsPerMember(lkhSrv.Tree(), res.Update)
+	for k, c := range r.LKHCounts {
+		r.LKHTotal += k * c
+	}
+
+	tree, err := buildTree(areaSize, arity, 12)
+	if err != nil {
+		return nil, err
+	}
+	ares, err := tree.Leave("m0")
+	if err != nil {
+		return nil, err
+	}
+	r.MykilCounts = keytree.UpdateCountsPerMember(tree, ares.Update)
+	for k, c := range r.MykilCounts {
+		r.MykilTotal += k * c
+	}
+
+	// Join side: admit one member to each structure and count how many
+	// existing members hold at least one rotated key.
+	affected := func(tr *keytree.Tree, m keytree.MemberID) (int, error) {
+		res, err := tr.Join(m)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, c := range keytree.UpdateCountsPerMember(tr, res.Update) {
+			n += c
+		}
+		return n, nil
+	}
+	if r.JoinAffectedLKH, err = affected(lkhSrv.Tree(), "join-probe"); err != nil {
+		return nil, err
+	}
+	if r.JoinAffectedMykil, err = affected(tree, "join-probe"); err != nil {
+		return nil, err
+	}
+	// Iolus: every subgroup member decrypts the new subgroup key.
+	r.JoinAffectedIolus = areaSize
+	return r, nil
+}
+
+// Table renders the distribution: one row per update count.
+func (r *CPUResult) Table() *Table {
+	maxK := 0
+	for _, m := range []map[int]int{r.IolusCounts, r.LKHCounts, r.MykilCounts} {
+		for k := range m {
+			if k > maxK {
+				maxK = k
+			}
+		}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("V-B members updating k keys on one leave (n=%d, area=%d)", r.N, r.AreaSize),
+		Headers: []string{"k keys", "Iolus", "LKH", "Mykil"},
+		Notes: []string{
+			"paper: LKH 50%/25%/12.5%/... of 100,000; Mykil same shape within one 5000-member area; Iolus m×1",
+			fmt.Sprintf("total key updates: Iolus=%d LKH=%d Mykil=%d (target: Iolus < Mykil ≪ LKH)",
+				r.IolusTotal, r.LKHTotal, r.MykilTotal),
+			fmt.Sprintf("members affected by one JOIN: Iolus=%d LKH=%d Mykil=%d (paper: all of LKH's group vs one area)",
+				r.JoinAffectedIolus, r.JoinAffectedLKH, r.JoinAffectedMykil),
+		},
+	}
+	keys := make([]int, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		if r.IolusCounts[k] == 0 && r.LKHCounts[k] == 0 && r.MykilCounts[k] == 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(k),
+			fmt.Sprint(r.IolusCounts[k]),
+			fmt.Sprint(r.LKHCounts[k]),
+			fmt.Sprint(r.MykilCounts[k]),
+		})
+	}
+	return t
+}
+
+// GeometricShapeHolds checks the paper's headline claim: the update
+// distribution decays geometrically — each extra key is needed by about
+// half as many members. The paper's exact 50%/25%/12.5% row assumes a
+// complete tree; real trees over non-power-of-two populations are uneven
+// at the very top, so the halving is checked on the inner buckets
+// (k=2..6) and the head only for dominance.
+func (r *CPUResult) GeometricShapeHolds() bool {
+	check := func(counts map[int]int, population int) bool {
+		c1 := counts[1]
+		if c1 == 0 || float64(c1)/float64(population) < 0.25 {
+			return false
+		}
+		// counts[1] must be the largest bucket.
+		for k, c := range counts {
+			if k != 1 && c > c1 {
+				return false
+			}
+		}
+		for k := 2; k <= 6; k++ {
+			a, b := counts[k], counts[k+1]
+			if a == 0 || b == 0 {
+				return false
+			}
+			ratio := float64(a) / float64(b)
+			if ratio < 1.5 || ratio > 2.5 {
+				return false
+			}
+		}
+		return true
+	}
+	return check(r.LKHCounts, r.N) && check(r.MykilCounts, r.AreaSize)
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+
+	"mykil/internal/keytree"
+	"mykil/internal/model"
+)
+
+// ModelRow pairs one measured quantity with its closed-form prediction.
+type ModelRow struct {
+	Quantity  string
+	Measured  int
+	Predicted int
+}
+
+// ModelCheck measures the core §V quantities on real structures at the
+// given scale and pairs each with internal/model's closed-form
+// prediction — the analytic/empirical cross-check the paper performs
+// informally.
+func ModelCheck(n, areas, arity int) ([]ModelRow, error) {
+	areaSize := n / areas
+	rows := make([]ModelRow, 0, 8)
+
+	lkhTree, err := buildTree(n, arity, 71)
+	if err != nil {
+		return nil, err
+	}
+	areaTree, err := buildTree(areaSize, arity, 72)
+	if err != nil {
+		return nil, err
+	}
+
+	rows = append(rows,
+		ModelRow{"LKH tree depth", lkhTree.Depth(), model.TreeDepth(n, arity)},
+		ModelRow{"Mykil area tree depth", areaTree.Depth(), model.TreeDepth(areaSize, arity)},
+		ModelRow{"LKH server keys", lkhTree.NumNodes(), model.TreeNodes(n, arity)},
+		ModelRow{"Mykil controller keys", areaTree.NumNodes(), model.TreeNodes(areaSize, arity)},
+		ModelRow{"member keys (LKH)", lkhTree.MaxMemberKeyCount(), model.MemberKeys(n, arity)},
+		ModelRow{"member keys (Mykil)", areaTree.MaxMemberKeyCount(), model.MemberKeys(areaSize, arity)},
+	)
+
+	lres, err := lkhTree.Leave("m0")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ModelRow{
+		"LKH leave rekey bytes", lres.Update.PaperBytes(), model.LeaveBytes(n, arity),
+	})
+	ares, err := areaTree.Leave("m0")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ModelRow{
+		"Mykil leave rekey bytes", ares.Update.PaperBytes(), model.MykilLeaveBytes(n, areas, arity),
+	})
+
+	counts := keytree.UpdateCountsPerMember(areaTree, ares.Update)
+	total := 0
+	for k, c := range counts {
+		total += k * c
+	}
+	rows = append(rows, ModelRow{
+		"Mykil leave CPU (total key updates)", total, model.MykilLeaveCPU(n, areas, arity),
+	})
+
+	sg := buildIolus(areaSize, 73)
+	itr, err := sg.Leave("m0")
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, ModelRow{
+		"Iolus leave bytes", itr.TotalBytes(), model.IolusLeaveBytes(areaSize),
+	})
+	return rows, nil
+}
+
+// ModelTable renders the cross-check.
+func ModelTable(rows []ModelRow, n, areas, arity int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("analytic model vs measured structures (n=%d, %d areas, arity %d)", n, areas, arity),
+		Headers: []string{"quantity", "measured", "predicted", "match"},
+		Notes: []string{
+			"internal/model encodes the paper's §V closed forms; the engine must reproduce them exactly",
+		},
+	}
+	for _, r := range rows {
+		match := "yes"
+		if r.Measured != r.Predicted {
+			match = "NO"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Quantity, fmt.Sprint(r.Measured), fmt.Sprint(r.Predicted), match,
+		})
+	}
+	return t
+}
+
+// ModelMatches reports whether every row agrees.
+func ModelMatches(rows []ModelRow) bool {
+	for _, r := range rows {
+		if r.Measured != r.Predicted {
+			return false
+		}
+	}
+	return len(rows) > 0
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mykil/internal/core"
+	"mykil/internal/simnet"
+)
+
+// ProtocolCostRow reports the measured network cost of one protocol run:
+// frames and bytes on the wire, split by whether the registration server
+// participated — quantifying §V-D's observation that "the rejoin protocol
+// does not require any participation of the registration server, thus
+// reducing communication and computation load on that server".
+type ProtocolCostRow struct {
+	Protocol string
+	Messages int64
+	Bytes    int64
+	RSJoins  int64 // registrations the RS processed during the run
+}
+
+// ProtocolCosts runs one join, one verified rejoin, and one unverified
+// rejoin over a quiet simulated network and attributes the frame/byte
+// deltas to each protocol.
+func ProtocolCosts(rsaBits int) ([]ProtocolCostRow, error) {
+	if rsaBits == 0 {
+		rsaBits = 1024
+	}
+	run := func(skipVerify bool) (join, rejoin ProtocolCostRow, err error) {
+		net := simnet.New(simnet.Config{})
+		g, err := core.New(core.Config{
+			NumAreas: 2,
+			RSABits:  rsaBits,
+			Net:      net,
+			// Generous quiet periods so no alive/heartbeat traffic
+			// pollutes the counters during the measurement.
+			TIdle:            time.Hour,
+			TActive:          time.Hour,
+			RekeyInterval:    time.Hour,
+			SkipRejoinVerify: skipVerify,
+			OpTimeout:        time.Minute,
+		})
+		if err != nil {
+			net.Close()
+			return join, rejoin, err
+		}
+		defer func() {
+			g.Close()
+			net.Close()
+		}()
+
+		snap := func() (int64, int64) {
+			return net.Stats().Value(simnet.StatSentMsgs), net.Stats().Value(simnet.StatSentBytes)
+		}
+
+		m, err := g.NewMember("cost-probe", core.MemberConfig{})
+		if err != nil {
+			return join, rejoin, err
+		}
+		m0, b0 := snap()
+		if err := m.Join(); err != nil {
+			return join, rejoin, err
+		}
+		m1, b1 := snap()
+		join = ProtocolCostRow{
+			Messages: m1 - m0,
+			Bytes:    b1 - b0,
+			RSJoins:  g.RS.Joins(),
+		}
+
+		home := m.ControllerID()
+		var target string
+		for _, e := range g.Directory() {
+			if e.ID != home {
+				target = e.ID
+			}
+		}
+		if err := m.Leave(); err != nil {
+			return join, rejoin, err
+		}
+		m2, b2 := snap()
+		if err := m.Rejoin(target); err != nil {
+			return join, rejoin, err
+		}
+		m3, b3 := snap()
+		rejoin = ProtocolCostRow{
+			Messages: m3 - m2,
+			Bytes:    b3 - b2,
+			RSJoins:  g.RS.Joins() - join.RSJoins,
+		}
+		return join, rejoin, nil
+	}
+
+	join, rejoinVerified, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	_, rejoinPlain, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	join.Protocol = "join (7 steps, via RS)"
+	rejoinVerified.Protocol = "rejoin (6 steps + verify)"
+	rejoinPlain.Protocol = "rejoin (no verify)"
+	return []ProtocolCostRow{join, rejoinVerified, rejoinPlain}, nil
+}
+
+// ProtocolCostTable renders the comparison.
+func ProtocolCostTable(rows []ProtocolCostRow, rsaBits int) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("§V-D protocol message costs (RSA-%d, quiet network)", rsaBits),
+		Headers: []string{"protocol", "frames", "bytes", "RS registrations"},
+		Notes: []string{
+			"paper: the rejoin avoids the registration server entirely, shedding its load",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Protocol, fmt.Sprint(r.Messages), fmt.Sprint(r.Bytes), fmt.Sprint(r.RSJoins),
+		})
+	}
+	return t
+}
+
+// RejoinShedsRSLoad checks §V-D's qualitative claim.
+func RejoinShedsRSLoad(rows []ProtocolCostRow) bool {
+	if len(rows) != 3 {
+		return false
+	}
+	join, verified, plain := rows[0], rows[1], rows[2]
+	return join.RSJoins == 1 && verified.RSJoins == 0 && plain.RSJoins == 0 &&
+		plain.Messages < verified.Messages
+}

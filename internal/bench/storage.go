@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+)
+
+// StorageResult reproduces the §V-A storage-requirements analysis from
+// live data structures.
+type StorageResult struct {
+	N        int
+	Areas    int
+	AreaSize int
+
+	// Per-member symmetric key counts and bytes (128-bit keys).
+	MemberKeysIolus, MemberKeysLKH, MemberKeysMykil    int
+	MemberBytesIolus, MemberBytesLKH, MemberBytesMykil int
+
+	// Per-member public-key storage bytes (own pair + RS + controllers).
+	MemberPubBytesIolus, MemberPubBytesLKH, MemberPubBytesMykil int
+
+	// Controller/server symmetric key counts and bytes.
+	CtrlKeysIolus, CtrlKeysLKH, CtrlKeysMykil    int
+	CtrlBytesIolus, CtrlBytesLKH, CtrlBytesMykil int
+
+	// Controller public-key storage bytes.
+	CtrlPubBytesMykil int
+}
+
+// rsaKeyBytes is the storage for one 2048-bit RSA key, per the paper's
+// §V-A arithmetic (2048 bits = 256 bytes).
+const rsaKeyBytes = 2048 / 8
+
+// Storage builds the three protocols' real structures at the given scale
+// and counts the keys each principal holds.
+func Storage(n, areas, arity int) (*StorageResult, error) {
+	areaSize := n / areas
+	r := &StorageResult{N: n, Areas: areas, AreaSize: areaSize}
+
+	// Iolus: one subgroup of areaSize (storage is per-subgroup).
+	sg := buildIolus(areaSize, 1)
+	r.MemberKeysIolus = sg.MemberKeyCount()
+	r.CtrlKeysIolus = sg.ControllerKeyCount()
+
+	// LKH: one global tree over all n members.
+	lkhSrv, err := buildLKH(n, arity, 2)
+	if err != nil {
+		return nil, err
+	}
+	mk, err := lkhSrv.MemberKeyCount(keytree.MemberID("m0"))
+	if err != nil {
+		return nil, err
+	}
+	r.MemberKeysLKH = lkhSrv.Tree().MaxMemberKeyCount()
+	if mk > r.MemberKeysLKH {
+		r.MemberKeysLKH = mk
+	}
+	r.CtrlKeysLKH = lkhSrv.ServerKeyCount()
+
+	// Mykil: one area tree of areaSize (each controller stores its own
+	// area's auxiliary keys).
+	tree, err := buildTree(areaSize, arity, 3)
+	if err != nil {
+		return nil, err
+	}
+	r.MemberKeysMykil = tree.MaxMemberKeyCount()
+	r.CtrlKeysMykil = tree.NumNodes()
+
+	r.MemberBytesIolus = r.MemberKeysIolus * crypt.SymKeyLen
+	r.MemberBytesLKH = r.MemberKeysLKH * crypt.SymKeyLen
+	r.MemberBytesMykil = r.MemberKeysMykil * crypt.SymKeyLen
+	r.CtrlBytesIolus = r.CtrlKeysIolus * crypt.SymKeyLen
+	r.CtrlBytesLKH = r.CtrlKeysLKH * crypt.SymKeyLen
+	r.CtrlBytesMykil = r.CtrlKeysMykil * crypt.SymKeyLen
+
+	// Public keys (§V-A): every member stores its own pair (2 keys) plus
+	// the registration server's and its controller's. A Mykil member
+	// additionally stores the directory of other controllers for
+	// mobility (areas-1 keys). Controllers in Mykil store all other
+	// controllers' plus the RS's.
+	r.MemberPubBytesIolus = 4 * rsaKeyBytes
+	r.MemberPubBytesLKH = 4 * rsaKeyBytes
+	r.MemberPubBytesMykil = (4 + (areas - 1)) * rsaKeyBytes
+	r.CtrlPubBytesMykil = (2 + areas) * rsaKeyBytes
+	return r, nil
+}
+
+// Tables renders the §V-A comparison.
+func (r *StorageResult) Tables() []*Table {
+	member := &Table{
+		Title:   fmt.Sprintf("V-A member storage (n=%d, %d areas of %d)", r.N, r.Areas, r.AreaSize),
+		Headers: []string{"protocol", "sym keys", "sym bytes", "pub-key bytes"},
+		Rows: [][]string{
+			{"Iolus", fmt.Sprint(r.MemberKeysIolus), fmt.Sprint(r.MemberBytesIolus), fmt.Sprint(r.MemberPubBytesIolus)},
+			{"LKH", fmt.Sprint(r.MemberKeysLKH), fmt.Sprint(r.MemberBytesLKH), fmt.Sprint(r.MemberPubBytesLKH)},
+			{"Mykil", fmt.Sprint(r.MemberKeysMykil), fmt.Sprint(r.MemberBytesMykil), fmt.Sprint(r.MemberPubBytesMykil)},
+		},
+		Notes: []string{
+			"paper: Iolus 32 B, LKH 272 B, Mykil 176 B of symmetric keys",
+			"ordering target: Iolus < Mykil < LKH",
+		},
+	}
+	ctrl := &Table{
+		Title:   "V-A controller/server storage",
+		Headers: []string{"protocol", "sym keys", "sym bytes"},
+		Rows: [][]string{
+			{"Iolus subgroup ctrl", fmt.Sprint(r.CtrlKeysIolus), fmt.Sprint(r.CtrlBytesIolus)},
+			{"LKH key server", fmt.Sprint(r.CtrlKeysLKH), fmt.Sprint(r.CtrlBytesLKH)},
+			{"Mykil area ctrl", fmt.Sprint(r.CtrlKeysMykil), fmt.Sprint(r.CtrlBytesMykil)},
+		},
+		Notes: []string{
+			"paper: Iolus ~80 KB, Mykil ~132 KB, LKH ~4 MB",
+			"ordering target: Iolus ≈ Mykil ≪ LKH",
+		},
+	}
+	return []*Table{member, ctrl}
+}
+
+// OrderingHolds reports whether the paper's qualitative ordering
+// (member: Iolus < Mykil < LKH; controller: LKH largest) is reproduced.
+func (r *StorageResult) OrderingHolds() bool {
+	memberOK := r.MemberKeysIolus < r.MemberKeysMykil && r.MemberKeysMykil < r.MemberKeysLKH
+	ctrlOK := r.CtrlKeysLKH > r.CtrlKeysMykil && r.CtrlKeysLKH > r.CtrlKeysIolus
+	return memberOK && ctrlOK
+}

@@ -1,0 +1,203 @@
+// Package clock abstracts time so that protocol components that depend on
+// timers — alive-message emission, disconnection detection, heartbeat
+// monitoring, batch-flush intervals — can be driven deterministically in
+// tests with a fake clock and by the wall clock in production.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock provides the time operations the protocol stack needs.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that receives the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d. d must be positive.
+	NewTicker(d time.Duration) Ticker
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// Ticker is the subset of time.Ticker the stack uses.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop shuts the ticker down. It does not close the channel.
+	Stop()
+}
+
+// Real is a Clock backed by the runtime wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// Fake is a manually advanced Clock for deterministic tests. Timers fire
+// synchronously inside Advance, in timestamp order. The zero value is not
+// usable; construct with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+	nextID  int64
+}
+
+var _ Clock = (*Fake)(nil)
+
+type fakeWaiter struct {
+	id       int64
+	deadline time.Time
+	period   time.Duration // zero for one-shot After
+	ch       chan time.Time
+	stopped  bool
+}
+
+// NewFake returns a Fake clock starting at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock. The returned channel has capacity one so Advance
+// never blocks on an abandoned waiter.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{
+		id:       f.nextID,
+		deadline: f.now.Add(d),
+		ch:       make(chan time.Time, 1),
+	}
+	f.nextID++
+	f.waiters = append(f.waiters, w)
+	return w.ch
+}
+
+// NewTicker implements Clock.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{
+		id:       f.nextID,
+		deadline: f.now.Add(d),
+		period:   d,
+		ch:       make(chan time.Time, 1),
+	}
+	f.nextID++
+	f.waiters = append(f.waiters, w)
+	return &fakeTicker{clk: f, w: w}
+}
+
+// Sleep implements Clock. On a fake clock Sleep returns only when another
+// goroutine advances time past the deadline.
+func (f *Fake) Sleep(d time.Duration) {
+	<-f.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer and ticker whose
+// deadline falls within the window, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		w := f.earliestDue(target)
+		if w == nil {
+			break
+		}
+		f.now = w.deadline
+		select {
+		case w.ch <- f.now:
+		default: // waiter fell behind; drop the tick like time.Ticker does
+		}
+		if w.period > 0 {
+			w.deadline = w.deadline.Add(w.period)
+		} else {
+			f.removeWaiter(w.id)
+		}
+	}
+	f.now = target
+	f.mu.Unlock()
+}
+
+// earliestDue returns the live waiter with the earliest deadline <= target,
+// breaking ties by creation order. Caller holds f.mu.
+func (f *Fake) earliestDue(target time.Time) *fakeWaiter {
+	var best *fakeWaiter
+	for _, w := range f.waiters {
+		if w.stopped || w.deadline.After(target) {
+			continue
+		}
+		if best == nil || w.deadline.Before(best.deadline) ||
+			(w.deadline.Equal(best.deadline) && w.id < best.id) {
+			best = w
+		}
+	}
+	return best
+}
+
+// removeWaiter deletes the waiter with the given id. Caller holds f.mu.
+func (f *Fake) removeWaiter(id int64) {
+	for i, w := range f.waiters {
+		if w.id == id {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// PendingWaiters reports how many timers/tickers are outstanding; useful in
+// tests to assert components shut their timers down.
+func (f *Fake) PendingWaiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type fakeTicker struct {
+	clk *Fake
+	w   *fakeWaiter
+}
+
+func (ft *fakeTicker) C() <-chan time.Time { return ft.w.ch }
+
+func (ft *fakeTicker) Stop() {
+	ft.clk.mu.Lock()
+	ft.w.stopped = true
+	ft.clk.removeWaiter(ft.w.id)
+	ft.clk.mu.Unlock()
+}

@@ -1,0 +1,190 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestRealClockNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	now := c.Now()
+	after := time.Now()
+	if now.Before(before) || now.After(after) {
+		t.Errorf("Real.Now %v outside [%v, %v]", now, before, after)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestRealClockTicker(t *testing.T) {
+	c := Real{}
+	tk := c.NewTicker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real ticker never fired")
+	}
+}
+
+func TestFakeNowAndAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	if !f.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", f.Now(), epoch)
+	}
+	f.Advance(90 * time.Second)
+	if want := epoch.Add(90 * time.Second); !f.Now().Equal(want) {
+		t.Errorf("Now after Advance = %v, want %v", f.Now(), want)
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired 1s early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case got := <-ch:
+		if want := epoch.Add(10 * time.Second); !got.Equal(want) {
+			t.Errorf("fired with time %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestFakeAfterFiresOnce(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(time.Second)
+	f.Advance(time.Second)
+	<-ch
+	f.Advance(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("one-shot timer fired twice")
+	default:
+	}
+	if f.PendingWaiters() != 0 {
+		t.Errorf("PendingWaiters = %d after one-shot fired", f.PendingWaiters())
+	}
+}
+
+func TestFakeTimersFireInDeadlineOrder(t *testing.T) {
+	f := NewFake(epoch)
+	late := f.After(20 * time.Second)
+	early := f.After(5 * time.Second)
+	f.Advance(30 * time.Second)
+	tLate := <-late
+	tEarly := <-early
+	if !tEarly.Equal(epoch.Add(5 * time.Second)) {
+		t.Errorf("early fired at %v", tEarly)
+	}
+	if !tLate.Equal(epoch.Add(20 * time.Second)) {
+		t.Errorf("late fired at %v", tLate)
+	}
+	if tEarly.After(tLate) {
+		t.Error("timers fired out of order")
+	}
+}
+
+func TestFakeTickerPeriodic(t *testing.T) {
+	f := NewFake(epoch)
+	tk := f.NewTicker(10 * time.Second)
+	defer tk.Stop()
+	for i := 1; i <= 3; i++ {
+		f.Advance(10 * time.Second)
+		select {
+		case got := <-tk.C():
+			if want := epoch.Add(time.Duration(i) * 10 * time.Second); !got.Equal(want) {
+				t.Errorf("tick %d at %v, want %v", i, got, want)
+			}
+		default:
+			t.Fatalf("tick %d missing", i)
+		}
+	}
+}
+
+func TestFakeTickerDropsWhenBehind(t *testing.T) {
+	f := NewFake(epoch)
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	f.Advance(10 * time.Second) // 10 ticks due, channel capacity 1
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Errorf("received %d buffered ticks, want 1 (extra ticks dropped)", n)
+	}
+}
+
+func TestFakeTickerStop(t *testing.T) {
+	f := NewFake(epoch)
+	tk := f.NewTicker(time.Second)
+	tk.Stop()
+	f.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+	if f.PendingWaiters() != 0 {
+		t.Errorf("PendingWaiters = %d after Stop", f.PendingWaiters())
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait until the sleeper has registered its waiter.
+	for i := 0; f.PendingWaiters() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	f.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep never returned after Advance")
+	}
+}
+
+func TestFakeZeroDurationAfter(t *testing.T) {
+	f := NewFake(epoch)
+	ch := f.After(0)
+	f.Advance(0)
+	select {
+	case <-ch:
+	default:
+		t.Error("After(0) did not fire on Advance(0)")
+	}
+}

@@ -1,0 +1,459 @@
+// Package core assembles complete Mykil deployments: a registration
+// server, a tree of area controllers (optionally each with a primary-
+// backup replica), and any number of members, all wired over the
+// simulated network. It is the facade the examples, integration tests,
+// and benchmarks use; the underlying pieces live in internal/regserver,
+// internal/area, internal/member, and internal/replica.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mykil/internal/area"
+	"mykil/internal/clock"
+	"mykil/internal/crypt"
+	"mykil/internal/member"
+	"mykil/internal/regserver"
+	"mykil/internal/replica"
+	"mykil/internal/simnet"
+	"mykil/internal/transport"
+	"mykil/internal/wire"
+)
+
+// DefaultRSABits keeps in-process experiments fast; the paper's 2048-bit
+// keys are selected by raising Config.RSABits.
+const DefaultRSABits = 1024
+
+// Config describes a deployment.
+type Config struct {
+	// NumAreas is the number of areas (and controllers). Controllers
+	// form a tree: controller i's parent is controller (i-1)/AreaFanout.
+	NumAreas int
+	// AreaFanout shapes the controller tree; 0 means 2.
+	AreaFanout int
+	// RSABits sets every principal's key size; 0 means DefaultRSABits.
+	RSABits int
+	// Batching enables §III-E aggregation at every controller.
+	Batching bool
+	// TreeArity sets auxiliary-key-tree fan-out (0 = paper's 4).
+	TreeArity int
+	// WithBackups gives every controller a §IV-C primary-backup replica.
+	WithBackups bool
+	// Policy selects rejoin behaviour under partition.
+	Policy area.PartitionPolicy
+	// SkipRejoinVerify omits rejoin steps 4-5 at every controller
+	// (§V-D's option-2 latency variant).
+	SkipRejoinVerify bool
+	// Clock drives all timers; nil means clock.Real. Use a clock.Fake
+	// to step failure detection deterministically.
+	Clock clock.Clock
+	// Net, if set, is used instead of a fresh lossless network.
+	Net *simnet.Network
+	// NewTransport, if set, overrides how component transports are
+	// created (e.g. transport.NewTCP for a real-network deployment); the
+	// name parameter is the component's identity ("rs", "ac-0", member
+	// ID). When nil, simnet transports named after the identity are
+	// used. Addresses always come from Transport.Addr().
+	NewTransport func(name string) (transport.Transport, error)
+	// AuthDB maps acceptable auth-info strings to membership durations.
+	// Nil installs {"valid": 24h}.
+	AuthDB map[string]time.Duration
+	// Timing overrides passed to every controller and member.
+	TIdle          time.Duration
+	TActive        time.Duration
+	RekeyInterval  time.Duration
+	VerifyTimeout  time.Duration
+	HeartbeatEvery time.Duration
+	OpTimeout      time.Duration
+	// Logf, if set, receives debug logging from every component.
+	Logf func(format string, args ...any)
+}
+
+// Group is a running deployment.
+type Group struct {
+	Net   *simnet.Network
+	Clock clock.Clock
+	RS    *regserver.Server
+
+	cfg         Config
+	ownsNet     bool
+	rsTransport transport.Transport
+	controllers []*area.Controller
+	ctrlInfo    []wire.ACInfo
+	backups     []*replica.Backup
+	pool        *crypt.Pool
+	rsKeys      *crypt.KeyPair
+	kShared     crypt.SymKey
+
+	mu         sync.Mutex
+	members    map[string]*member.Member
+	transports []transport.Transport
+	closed     bool
+}
+
+// ACAddr returns controller i's transport address.
+func ACAddr(i int) string { return fmt.Sprintf("ac-%d", i) }
+
+// ACID returns controller i's identity.
+func ACID(i int) string { return ACAddr(i) }
+
+// BackupAddr returns controller i's backup address.
+func BackupAddr(i int) string { return fmt.Sprintf("backup-%d", i) }
+
+// RSAddr is the registration server's address.
+const RSAddr = "rs"
+
+// New builds and starts a deployment.
+func New(cfg Config) (*Group, error) {
+	if cfg.NumAreas <= 0 {
+		cfg.NumAreas = 1
+	}
+	if cfg.AreaFanout <= 0 {
+		cfg.AreaFanout = 2
+	}
+	if cfg.RSABits == 0 {
+		cfg.RSABits = DefaultRSABits
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.AuthDB == nil {
+		cfg.AuthDB = map[string]time.Duration{"valid": 24 * time.Hour}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	g := &Group{
+		Clock:   cfg.Clock,
+		cfg:     cfg,
+		pool:    crypt.NewPool(cfg.RSABits),
+		kShared: crypt.NewSymKey(),
+		members: make(map[string]*member.Member),
+	}
+	if cfg.NewTransport == nil {
+		if cfg.Net != nil {
+			g.Net = cfg.Net
+		} else {
+			g.Net = simnet.New(simnet.Config{})
+			g.ownsNet = true
+		}
+		net := g.Net
+		cfg.NewTransport = func(name string) (transport.Transport, error) {
+			return transport.NewSim(net, name)
+		}
+		g.cfg.NewTransport = cfg.NewTransport
+	}
+
+	// Pre-generate every controller-side key pair in parallel.
+	nKeys := 1 + cfg.NumAreas
+	if cfg.WithBackups {
+		nKeys += cfg.NumAreas
+	}
+	if err := g.pool.Warm(nKeys); err != nil {
+		return nil, fmt.Errorf("core: warming key pool: %w", err)
+	}
+
+	var err error
+	g.rsKeys, err = g.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+
+	// All component transports first: with a real-network factory the
+	// directory must carry listener-assigned addresses.
+	acTrs := make([]transport.Transport, cfg.NumAreas)
+	for i := range acTrs {
+		if acTrs[i], err = cfg.NewTransport(ACAddr(i)); err != nil {
+			return nil, err
+		}
+		g.transports = append(g.transports, acTrs[i])
+	}
+	backupTrs := make([]transport.Transport, cfg.NumAreas)
+	if cfg.WithBackups {
+		for i := range backupTrs {
+			if backupTrs[i], err = cfg.NewTransport(BackupAddr(i)); err != nil {
+				return nil, err
+			}
+			g.transports = append(g.transports, backupTrs[i])
+		}
+	}
+	rsTr, err := cfg.NewTransport(RSAddr)
+	if err != nil {
+		return nil, err
+	}
+	g.rsTransport = rsTr
+	g.transports = append(g.transports, rsTr)
+
+	// Controller key pairs and the directory.
+	ctrlKeys := make([]*crypt.KeyPair, cfg.NumAreas)
+	g.ctrlInfo = make([]wire.ACInfo, cfg.NumAreas)
+	for i := 0; i < cfg.NumAreas; i++ {
+		ctrlKeys[i], err = g.pool.Get()
+		if err != nil {
+			return nil, err
+		}
+		g.ctrlInfo[i] = wire.ACInfo{
+			ID:     ACID(i),
+			Addr:   acTrs[i].Addr(),
+			PubDER: ctrlKeys[i].Public().Marshal(),
+		}
+	}
+
+	// Backups.
+	backupKeys := make([]*crypt.KeyPair, cfg.NumAreas)
+	if cfg.WithBackups {
+		for i := range backupKeys {
+			backupKeys[i], err = g.pool.Get()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Controllers, root first so parents exist before children join.
+	for i := 0; i < cfg.NumAreas; i++ {
+		acCfg := area.Config{
+			ID:               ACID(i),
+			AreaID:           fmt.Sprintf("area-%d", i),
+			Transport:        acTrs[i],
+			Keys:             ctrlKeys[i],
+			Clock:            cfg.Clock,
+			KShared:          g.kShared,
+			RSPub:            g.rsKeys.Public(),
+			Directory:        g.ctrlInfo,
+			Batching:         cfg.Batching,
+			TreeArity:        cfg.TreeArity,
+			Policy:           cfg.Policy,
+			SkipRejoinVerify: cfg.SkipRejoinVerify,
+			TIdle:            cfg.TIdle,
+			TActive:          cfg.TActive,
+			RekeyInterval:    cfg.RekeyInterval,
+			VerifyTimeout:    cfg.VerifyTimeout,
+			HeartbeatEvery:   cfg.HeartbeatEvery,
+			Logf:             cfg.Logf,
+		}
+		if i > 0 {
+			parentIdx := (i - 1) / cfg.AreaFanout
+			acCfg.Parent = &area.PeerInfo{
+				ID:   ACID(parentIdx),
+				Addr: acTrs[parentIdx].Addr(),
+				Pub:  ctrlKeys[parentIdx].Public(),
+			}
+			// Preferred fallback parents: every other controller,
+			// nearest indices first.
+			for j := 0; j < cfg.NumAreas; j++ {
+				if j != i && j != parentIdx {
+					acCfg.PreferredParents = append(acCfg.PreferredParents, ACID(j))
+				}
+			}
+		}
+		if cfg.WithBackups {
+			acCfg.Backup = &area.PeerInfo{
+				ID:   fmt.Sprintf("backup-%d", i),
+				Addr: backupTrs[i].Addr(),
+				Pub:  backupKeys[i].Public(),
+			}
+		}
+		ctrl, err := area.New(acCfg)
+		if err != nil {
+			return nil, err
+		}
+		g.controllers = append(g.controllers, ctrl)
+	}
+
+	// Backups watch their primaries.
+	if cfg.WithBackups {
+		for i := 0; i < cfg.NumAreas; i++ {
+			hb := cfg.HeartbeatEvery
+			if hb == 0 {
+				hb = cfg.TIdle
+			}
+			if hb == 0 {
+				hb = area.DefaultTIdle
+			}
+			b, err := replica.New(replica.Config{
+				ID:             fmt.Sprintf("backup-%d", i),
+				Transport:      backupTrs[i],
+				Keys:           backupKeys[i],
+				Clock:          cfg.Clock,
+				PrimaryID:      ACID(i),
+				PrimaryPub:     ctrlKeys[i].Public(),
+				HeartbeatEvery: hb,
+				ControllerConfig: area.Config{
+					KShared:       g.kShared,
+					RSPub:         g.rsKeys.Public(),
+					Directory:     g.ctrlInfo,
+					Batching:      cfg.Batching,
+					TreeArity:     cfg.TreeArity,
+					Policy:        cfg.Policy,
+					TIdle:         cfg.TIdle,
+					TActive:       cfg.TActive,
+					RekeyInterval: cfg.RekeyInterval,
+					VerifyTimeout: cfg.VerifyTimeout,
+				},
+				Logf: cfg.Logf,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g.backups = append(g.backups, b)
+		}
+	}
+	rs, err := regserver.New(regserver.Config{
+		Transport:   rsTr,
+		Keys:        g.rsKeys,
+		Clock:       cfg.Clock,
+		Auth:        regserver.StaticAuthorizer(cfg.AuthDB),
+		Controllers: g.ctrlInfo,
+		Logf:        cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.RS = rs
+
+	// Start everything: controllers root-first, then backups, then RS.
+	for _, c := range g.controllers {
+		c.Start()
+	}
+	for _, b := range g.backups {
+		b.Start()
+	}
+	rs.Start()
+	return g, nil
+}
+
+// Controller returns controller i.
+func (g *Group) Controller(i int) *area.Controller { return g.controllers[i] }
+
+// NumAreas returns the configured number of areas.
+func (g *Group) NumAreas() int { return len(g.controllers) }
+
+// Backup returns backup i (nil when backups are disabled).
+func (g *Group) Backup(i int) *replica.Backup {
+	if len(g.backups) == 0 {
+		return nil
+	}
+	return g.backups[i]
+}
+
+// Directory returns the controller directory.
+func (g *Group) Directory() []wire.ACInfo {
+	return append([]wire.ACInfo(nil), g.ctrlInfo...)
+}
+
+// KShared exposes the shared ticket key, for tests that forge tickets.
+func (g *Group) KShared() crypt.SymKey { return g.kShared }
+
+// MemberConfig tweaks one member.
+type MemberConfig struct {
+	// AuthInfo defaults to "valid".
+	AuthInfo string
+	// OnData receives decrypted payloads.
+	OnData func(payload []byte, origin string)
+	// AutoRejoin enables §IV-B automatic recovery.
+	AutoRejoin bool
+	// DataCipher selects the bulk data cipher (zero = AES;
+	// wire.CipherRC4 = the paper's §V-E hand-held path).
+	DataCipher wire.DataCipher
+}
+
+// NewMember creates (but does not join) a member with the given ID. On
+// the default simnet factory the member's transport address equals its
+// ID.
+func (g *Group) NewMember(id string, mc MemberConfig) (*member.Member, error) {
+	if mc.AuthInfo == "" {
+		mc.AuthInfo = "valid"
+	}
+	tr, err := g.cfg.NewTransport(id)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := g.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	m, err := member.New(member.Config{
+		ID:         id,
+		Transport:  tr,
+		Keys:       keys,
+		Clock:      g.cfg.Clock,
+		RSAddr:     g.rsTransport.Addr(),
+		RSPub:      g.rsKeys.Public(),
+		AuthInfo:   mc.AuthInfo,
+		OnData:     mc.OnData,
+		AutoRejoin: mc.AutoRejoin,
+		DataCipher: mc.DataCipher,
+		TActive:    g.cfg.TActive,
+		TIdle:      g.cfg.TIdle,
+		OpTimeout:  g.cfg.OpTimeout,
+		Logf:       g.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Start()
+	g.mu.Lock()
+	g.members[id] = m
+	g.transports = append(g.transports, tr)
+	g.mu.Unlock()
+	return m, nil
+}
+
+// AddMember creates a member and runs the full join protocol.
+func (g *Group) AddMember(id string, mc MemberConfig) (*member.Member, error) {
+	m, err := g.NewMember(id, mc)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Join(); err != nil {
+		return nil, fmt.Errorf("core: member %s join: %w", id, err)
+	}
+	return m, nil
+}
+
+// Member returns the member with the given ID, or nil.
+func (g *Group) Member(id string) *member.Member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members[id]
+}
+
+// WarmMemberKeys pre-generates n member key pairs in parallel.
+func (g *Group) WarmMemberKeys(n int) error { return g.pool.Warm(n) }
+
+// Close stops every component and, if the group owns it, the network.
+func (g *Group) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	members := make([]*member.Member, 0, len(g.members))
+	for _, m := range g.members {
+		members = append(members, m)
+	}
+	transports := g.transports
+	g.mu.Unlock()
+
+	for _, m := range members {
+		m.Close()
+	}
+	g.RS.Close()
+	for _, b := range g.backups {
+		b.Close()
+	}
+	for _, c := range g.controllers {
+		c.Close()
+	}
+	for _, tr := range transports {
+		_ = tr.Close()
+	}
+	if g.ownsNet {
+		g.Net.Close()
+	}
+}

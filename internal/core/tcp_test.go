@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mykil/internal/transport"
+)
+
+// TestGroupOverTCP runs the full protocol stack over real TCP loopback —
+// the transport the paper's prototype used.
+func TestGroupOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP stack in -short mode")
+	}
+	cfg := fastTiming(2)
+	cfg.NewTransport = func(string) (transport.Transport, error) {
+		return transport.NewTCP("127.0.0.1:0")
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+
+	var recvB collector
+	ma, err := g.AddMember("tcp-a", MemberConfig{})
+	if err != nil {
+		t.Fatalf("AddMember a: %v", err)
+	}
+	mb, err := g.AddMember("tcp-b", MemberConfig{OnData: recvB.onData})
+	if err != nil {
+		t.Fatalf("AddMember b: %v", err)
+	}
+	if !ma.Connected() || !mb.Connected() {
+		t.Fatal("members not connected over TCP")
+	}
+
+	if err := ma.Send([]byte("over tcp")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	waitFor(t, "TCP delivery", 10*time.Second, func() bool {
+		return recvB.has("tcp-a:over tcp")
+	})
+
+	// Ticket mobility over TCP as well.
+	firstAC := ma.ControllerID()
+	var target string
+	for _, e := range g.Directory() {
+		if e.ID != firstAC {
+			target = e.ID
+		}
+	}
+	if err := ma.Leave(); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if err := ma.Rejoin(target); err != nil {
+		t.Fatalf("Rejoin over TCP: %v", err)
+	}
+}

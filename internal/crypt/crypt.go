@@ -1,0 +1,411 @@
+// Package crypt is Mykil's cryptographic substrate. It wraps the Go
+// standard library primitives behind the small set of operations the
+// protocol needs:
+//
+//   - 128-bit symmetric keys with authenticated encryption (AES-128-CTR +
+//     HMAC-SHA256, encrypt-then-MAC) for area keys, auxiliary keys, and
+//     ticket sealing;
+//   - RSA key pairs with OAEP encryption and PKCS#1 v1.5 signatures for the
+//     join/rejoin protocols (the paper used 2048-bit RSA via OpenSSL);
+//   - hybrid public-key encryption reproducing the paper's §V-D workaround:
+//     payloads larger than one OAEP block are encrypted under a fresh
+//     one-time symmetric key which is itself RSA-encrypted;
+//   - HMAC-SHA256 message authentication codes;
+//   - RC4 for the bulk multicast data path feasibility experiment (§V-E).
+package crypt
+
+import (
+	"crypto"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rc4"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SymKeyLen is the symmetric key length in bytes. The paper uses 128-bit
+// area and auxiliary keys.
+const SymKeyLen = 16
+
+// DefaultRSABits is the RSA modulus size the paper's prototype used.
+const DefaultRSABits = 2048
+
+// Errors returned by this package. Callers match with errors.Is.
+var (
+	// ErrDecrypt reports that a ciphertext failed authentication or could
+	// not be decrypted. Deliberately coarse: distinguishing MAC failure
+	// from padding failure invites oracle attacks.
+	ErrDecrypt = errors.New("crypt: decryption failed")
+	// ErrBadSignature reports a signature that did not verify.
+	ErrBadSignature = errors.New("crypt: bad signature")
+	// ErrBadMAC reports a MAC that did not verify.
+	ErrBadMAC = errors.New("crypt: bad MAC")
+	// ErrShortCiphertext reports a ciphertext too short to contain the
+	// framing this package produces.
+	ErrShortCiphertext = errors.New("crypt: ciphertext too short")
+)
+
+// SymKey is a 128-bit symmetric key.
+type SymKey [SymKeyLen]byte
+
+// NewSymKey returns a fresh random symmetric key.
+func NewSymKey() SymKey {
+	var k SymKey
+	if _, err := io.ReadFull(rand.Reader, k[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it does the
+		// process must not continue issuing keys.
+		panic(fmt.Sprintf("crypt: reading randomness: %v", err))
+	}
+	return k
+}
+
+// SymKeyFromBytes builds a key from exactly SymKeyLen bytes.
+func SymKeyFromBytes(b []byte) (SymKey, error) {
+	var k SymKey
+	if len(b) != SymKeyLen {
+		return k, fmt.Errorf("crypt: symmetric key must be %d bytes, got %d", SymKeyLen, len(b))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// IsZero reports whether the key is the all-zero value (unset).
+func (k SymKey) IsZero() bool {
+	var zero SymKey
+	return k == zero
+}
+
+// Equal reports whether two keys are identical. Keys are compared in tests
+// and tree bookkeeping, never as an authentication step, so constant time
+// is not required.
+func (k SymKey) Equal(other SymKey) bool { return k == other }
+
+// symSeal layout: nonce(16) || ciphertext || tag(32).
+const (
+	symNonceLen = aes.BlockSize
+	symTagLen   = sha256.Size
+	// SealOverhead is the fixed byte overhead Seal adds to a plaintext.
+	SealOverhead = symNonceLen + symTagLen
+)
+
+// Seal encrypts and authenticates plaintext under key k using
+// AES-128-CTR + HMAC-SHA256 (encrypt-then-MAC). The output embeds a random
+// nonce; sealing the same plaintext twice yields different ciphertexts.
+func Seal(k SymKey, plaintext []byte) []byte {
+	out := make([]byte, symNonceLen+len(plaintext)+symTagLen)
+	nonce := out[:symNonceLen]
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		panic(fmt.Sprintf("crypt: reading randomness: %v", err))
+	}
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypt: aes key setup: %v", err)) // key length is fixed; unreachable
+	}
+	ct := out[symNonceLen : symNonceLen+len(plaintext)]
+	cipher.NewCTR(block, nonce).XORKeyStream(ct, plaintext)
+
+	mac := hmac.New(sha256.New, macKeyFor(k))
+	mac.Write(out[:symNonceLen+len(plaintext)])
+	copy(out[symNonceLen+len(plaintext):], mac.Sum(nil))
+	return out
+}
+
+// Open authenticates and decrypts a Seal output. It returns ErrDecrypt if
+// the ciphertext was not produced under k or has been modified.
+func Open(k SymKey, sealed []byte) ([]byte, error) {
+	if len(sealed) < SealOverhead {
+		return nil, ErrShortCiphertext
+	}
+	body := sealed[:len(sealed)-symTagLen]
+	tag := sealed[len(sealed)-symTagLen:]
+
+	mac := hmac.New(sha256.New, macKeyFor(k))
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrDecrypt
+	}
+	nonce := body[:symNonceLen]
+	ct := body[symNonceLen:]
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypt: aes key setup: %v", err))
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, nonce).XORKeyStream(pt, ct)
+	return pt, nil
+}
+
+// macKeyFor derives the HMAC key from the encryption key so Seal/Open need
+// only one 128-bit key, as in the paper's key inventory.
+func macKeyFor(k SymKey) []byte {
+	sum := sha256.Sum256(append([]byte("mykil-mac-v1"), k[:]...))
+	return sum[:]
+}
+
+// MAC computes an HMAC-SHA256 tag over data under key k.
+func MAC(k SymKey, data []byte) []byte {
+	mac := hmac.New(sha256.New, k[:])
+	mac.Write(data)
+	return mac.Sum(nil)
+}
+
+// VerifyMAC checks tag against MAC(k, data) in constant time.
+func VerifyMAC(k SymKey, data, tag []byte) error {
+	if !hmac.Equal(tag, MAC(k, data)) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// Nonce returns a fresh 64-bit random nonce for challenge–response steps.
+func Nonce() uint64 {
+	var b [8]byte
+	if _, err := io.ReadFull(rand.Reader, b[:]); err != nil {
+		panic(fmt.Sprintf("crypt: reading randomness: %v", err))
+	}
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// KeyPair is an RSA key pair belonging to one protocol principal (client,
+// registration server, or area controller).
+type KeyPair struct {
+	priv *rsa.PrivateKey
+}
+
+// PublicKey is the shareable half of a KeyPair.
+type PublicKey struct {
+	pub *rsa.PublicKey
+}
+
+// GenerateKeyPair creates an RSA key pair with the given modulus size in
+// bits. The paper used 2048; tests use smaller keys for speed.
+func GenerateKeyPair(bits int) (*KeyPair, error) {
+	priv, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: generating %d-bit RSA key: %w", bits, err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// Public returns the public half of the pair.
+func (kp *KeyPair) Public() PublicKey { return PublicKey{pub: &kp.priv.PublicKey} }
+
+// Bits returns the modulus size in bits.
+func (kp *KeyPair) Bits() int { return kp.priv.N.BitLen() }
+
+// Bits returns the modulus size in bits.
+func (p PublicKey) Bits() int {
+	if p.pub == nil {
+		return 0
+	}
+	return p.pub.N.BitLen()
+}
+
+// IsZero reports whether the public key is unset.
+func (p PublicKey) IsZero() bool { return p.pub == nil }
+
+// Equal reports whether two public keys are the same key.
+func (p PublicKey) Equal(other PublicKey) bool {
+	if p.pub == nil || other.pub == nil {
+		return p.pub == other.pub
+	}
+	return p.pub.N.Cmp(other.pub.N) == 0 && p.pub.E == other.pub.E
+}
+
+// Marshal encodes the public key in PKIX/DER form for embedding in wire
+// messages and tickets.
+func (p PublicKey) Marshal() []byte {
+	if p.pub == nil {
+		return nil
+	}
+	der, err := x509.MarshalPKIXPublicKey(p.pub)
+	if err != nil {
+		panic(fmt.Sprintf("crypt: marshaling RSA public key: %v", err)) // rsa keys always marshal
+	}
+	return der
+}
+
+// ParsePublicKey decodes a key produced by Marshal.
+func ParsePublicKey(der []byte) (PublicKey, error) {
+	k, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return PublicKey{}, fmt.Errorf("crypt: parsing public key: %w", err)
+	}
+	pub, ok := k.(*rsa.PublicKey)
+	if !ok {
+		return PublicKey{}, fmt.Errorf("crypt: public key is %T, want *rsa.PublicKey", k)
+	}
+	return PublicKey{pub: pub}, nil
+}
+
+// MarshalPrivate encodes the full key pair in PKCS#1/DER form, used only by
+// the replica-state snapshot between an area controller and its backup.
+func (kp *KeyPair) MarshalPrivate() []byte {
+	return x509.MarshalPKCS1PrivateKey(kp.priv)
+}
+
+// ParseKeyPair decodes a key pair produced by MarshalPrivate.
+func ParseKeyPair(der []byte) (*KeyPair, error) {
+	priv, err := x509.ParsePKCS1PrivateKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: parsing private key: %w", err)
+	}
+	return &KeyPair{priv: priv}, nil
+}
+
+// maxOAEPPlaintext returns the largest plaintext one OAEP block can carry
+// for the given public key: modulusLen - 2*hashLen - 2. OAEP uses SHA-1 to
+// match the paper's OpenSSL RSA_PKCS1_OAEP_PADDING, whose ~41-byte overhead
+// yields the 215-byte single-block limit §V-D reports for 2048-bit keys.
+func maxOAEPPlaintext(pub *rsa.PublicKey) int {
+	return pub.Size() - 2*sha1.Size - 2
+}
+
+// MaxSingleBlock reports the largest payload EncryptOAEP accepts for this
+// key (the paper's "215 bytes" for 2048-bit keys, modulo hash choice).
+func (p PublicKey) MaxSingleBlock() int {
+	if p.pub == nil {
+		return 0
+	}
+	return maxOAEPPlaintext(p.pub)
+}
+
+// EncryptOAEP encrypts a payload that must fit in a single OAEP block.
+func (p PublicKey) EncryptOAEP(plaintext []byte) ([]byte, error) {
+	if p.pub == nil {
+		return nil, errors.New("crypt: encrypt with zero public key")
+	}
+	if len(plaintext) > maxOAEPPlaintext(p.pub) {
+		return nil, fmt.Errorf("crypt: payload %d bytes exceeds single OAEP block (%d bytes)",
+			len(plaintext), maxOAEPPlaintext(p.pub))
+	}
+	ct, err := rsa.EncryptOAEP(sha1.New(), rand.Reader, p.pub, plaintext, nil)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: RSA-OAEP encrypt: %w", err)
+	}
+	return ct, nil
+}
+
+// DecryptOAEP reverses EncryptOAEP.
+func (kp *KeyPair) DecryptOAEP(ciphertext []byte) ([]byte, error) {
+	pt, err := rsa.DecryptOAEP(sha1.New(), rand.Reader, kp.priv, ciphertext, nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// Hybrid ciphertext layout: mode(1) || body.
+//
+//	mode 0: body is one OAEP block.
+//	mode 1: body is keyBlockLen(2, big endian) || OAEP(one-time key) ||
+//	        Seal(one-time key, plaintext) — the paper's §V-D workaround
+//	        for payloads over the single-block limit.
+const (
+	hybridModeDirect = 0
+	hybridModeKeyed  = 1
+)
+
+// Encrypt encrypts an arbitrary-length payload to this public key. Payloads
+// within one OAEP block are encrypted directly; larger ones use the paper's
+// one-time-symmetric-key scheme.
+func (p PublicKey) Encrypt(plaintext []byte) ([]byte, error) {
+	if p.pub == nil {
+		return nil, errors.New("crypt: encrypt with zero public key")
+	}
+	if len(plaintext) <= maxOAEPPlaintext(p.pub) {
+		block, err := p.EncryptOAEP(plaintext)
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte{hybridModeDirect}, block...), nil
+	}
+	oneTime := NewSymKey()
+	keyBlock, err := p.EncryptOAEP(oneTime[:])
+	if err != nil {
+		return nil, err
+	}
+	sealed := Seal(oneTime, plaintext)
+	out := make([]byte, 0, 3+len(keyBlock)+len(sealed))
+	out = append(out, hybridModeKeyed)
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(keyBlock)))
+	out = append(out, lenBuf[:]...)
+	out = append(out, keyBlock...)
+	out = append(out, sealed...)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func (kp *KeyPair) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < 1 {
+		return nil, ErrShortCiphertext
+	}
+	mode, body := ciphertext[0], ciphertext[1:]
+	switch mode {
+	case hybridModeDirect:
+		return kp.DecryptOAEP(body)
+	case hybridModeKeyed:
+		if len(body) < 2 {
+			return nil, ErrShortCiphertext
+		}
+		keyLen := int(binary.BigEndian.Uint16(body[:2]))
+		body = body[2:]
+		if len(body) < keyLen {
+			return nil, ErrShortCiphertext
+		}
+		keyBytes, err := kp.DecryptOAEP(body[:keyLen])
+		if err != nil {
+			return nil, err
+		}
+		oneTime, err := SymKeyFromBytes(keyBytes)
+		if err != nil {
+			return nil, ErrDecrypt
+		}
+		return Open(oneTime, body[keyLen:])
+	default:
+		return nil, fmt.Errorf("crypt: unknown hybrid mode %d: %w", mode, ErrDecrypt)
+	}
+}
+
+// Sign produces an RSA PKCS#1 v1.5 signature over SHA-256(data).
+func (kp *KeyPair) Sign(data []byte) []byte {
+	digest := sha256.Sum256(data)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, kp.priv, crypto.SHA256, digest[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypt: signing: %v", err)) // fails only on malformed keys
+	}
+	return sig
+}
+
+// Verify checks sig against data under this public key.
+func (p PublicKey) Verify(data, sig []byte) error {
+	if p.pub == nil {
+		return errors.New("crypt: verify with zero public key")
+	}
+	digest := sha256.Sum256(data)
+	if err := rsa.VerifyPKCS1v15(p.pub, crypto.SHA256, digest[:], sig); err != nil {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// RC4XOR applies the RC4 keystream for key k to data in place and returns
+// data. RC4 is long broken for confidentiality; it exists here solely to
+// reproduce the paper's §V-E hand-held throughput experiment.
+func RC4XOR(k SymKey, data []byte) []byte {
+	c, err := rc4.NewCipher(k[:])
+	if err != nil {
+		panic(fmt.Sprintf("crypt: rc4 key setup: %v", err)) // key length fixed
+	}
+	c.XORKeyStream(data, data)
+	return data
+}

@@ -1,0 +1,429 @@
+package crypt
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testBits keeps RSA generation fast in tests. The protocol logic is
+// independent of modulus size; 2048-bit keys are exercised once in
+// TestPaperSingleBlockLimit.
+const testBits = 1024
+
+var (
+	testPoolOnce sync.Once
+	testPool     *Pool
+)
+
+func testKeyPair(t *testing.T) *KeyPair {
+	t.Helper()
+	testPoolOnce.Do(func() {
+		testPool = NewPool(testBits)
+		if err := testPool.Warm(8); err != nil {
+			t.Fatalf("warming key pool: %v", err)
+		}
+	})
+	kp, err := testPool.Get()
+	if err != nil {
+		t.Fatalf("generating key pair: %v", err)
+	}
+	return kp
+}
+
+func TestSymKeyRoundTrip(t *testing.T) {
+	k := NewSymKey()
+	got, err := SymKeyFromBytes(k[:])
+	if err != nil {
+		t.Fatalf("SymKeyFromBytes: %v", err)
+	}
+	if !got.Equal(k) {
+		t.Fatalf("round-tripped key differs: %v vs %v", got, k)
+	}
+}
+
+func TestSymKeyFromBytesRejectsWrongLength(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 32} {
+		if _, err := SymKeyFromBytes(make([]byte, n)); err == nil {
+			t.Errorf("SymKeyFromBytes accepted %d bytes", n)
+		}
+	}
+}
+
+func TestNewSymKeyUnique(t *testing.T) {
+	seen := make(map[SymKey]bool)
+	for i := 0; i < 64; i++ {
+		k := NewSymKey()
+		if seen[k] {
+			t.Fatal("NewSymKey returned a duplicate key")
+		}
+		seen[k] = true
+	}
+}
+
+func TestSymKeyIsZero(t *testing.T) {
+	var zero SymKey
+	if !zero.IsZero() {
+		t.Error("zero value not reported as zero")
+	}
+	if NewSymKey().IsZero() {
+		t.Error("fresh key reported as zero")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := NewSymKey()
+	for _, size := range []int{0, 1, 16, 100, 4096} {
+		pt := bytes.Repeat([]byte{0xAB}, size)
+		ct := Seal(k, pt)
+		if len(ct) != len(pt)+SealOverhead {
+			t.Errorf("size %d: sealed length %d, want %d", size, len(ct), len(pt)+SealOverhead)
+		}
+		got, err := Open(k, ct)
+		if err != nil {
+			t.Fatalf("size %d: Open: %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestSealNondeterministic(t *testing.T) {
+	k := NewSymKey()
+	pt := []byte("same plaintext")
+	if bytes.Equal(Seal(k, pt), Seal(k, pt)) {
+		t.Error("two seals of the same plaintext are identical; nonce not randomized")
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	ct := Seal(NewSymKey(), []byte("secret"))
+	if _, err := Open(NewSymKey(), ct); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("Open with wrong key: err=%v, want ErrDecrypt", err)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	k := NewSymKey()
+	ct := Seal(k, []byte("payload to protect"))
+	for i := 0; i < len(ct); i += 7 {
+		mut := bytes.Clone(ct)
+		mut[i] ^= 0x01
+		if _, err := Open(k, mut); err == nil {
+			t.Fatalf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestOpenRejectsShortInput(t *testing.T) {
+	k := NewSymKey()
+	for _, n := range []int{0, 1, SealOverhead - 1} {
+		if _, err := Open(k, make([]byte, n)); !errors.Is(err, ErrShortCiphertext) {
+			t.Errorf("Open(%d bytes): err=%v, want ErrShortCiphertext", n, err)
+		}
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	k := NewSymKey()
+	f := func(pt []byte) bool {
+		got, err := Open(k, Seal(k, pt))
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	k := NewSymKey()
+	data := []byte("message body")
+	tag := MAC(k, data)
+	if err := VerifyMAC(k, data, tag); err != nil {
+		t.Fatalf("VerifyMAC on valid tag: %v", err)
+	}
+	if err := VerifyMAC(k, []byte("other body"), tag); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("VerifyMAC on wrong data: err=%v, want ErrBadMAC", err)
+	}
+	if err := VerifyMAC(NewSymKey(), data, tag); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("VerifyMAC with wrong key: err=%v, want ErrBadMAC", err)
+	}
+	tag[0] ^= 1
+	if err := VerifyMAC(k, data, tag); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("VerifyMAC on flipped tag: err=%v, want ErrBadMAC", err)
+	}
+}
+
+func TestNonceUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1024; i++ {
+		n := Nonce()
+		if seen[n] {
+			t.Fatal("Nonce returned a duplicate")
+		}
+		seen[n] = true
+	}
+}
+
+func TestPublicKeyMarshalRoundTrip(t *testing.T) {
+	kp := testKeyPair(t)
+	der := kp.Public().Marshal()
+	got, err := ParsePublicKey(der)
+	if err != nil {
+		t.Fatalf("ParsePublicKey: %v", err)
+	}
+	if !got.Equal(kp.Public()) {
+		t.Error("round-tripped public key differs")
+	}
+}
+
+func TestParsePublicKeyRejectsGarbage(t *testing.T) {
+	if _, err := ParsePublicKey([]byte("not a key")); err == nil {
+		t.Error("ParsePublicKey accepted garbage")
+	}
+}
+
+func TestPrivateKeyMarshalRoundTrip(t *testing.T) {
+	kp := testKeyPair(t)
+	got, err := ParseKeyPair(kp.MarshalPrivate())
+	if err != nil {
+		t.Fatalf("ParseKeyPair: %v", err)
+	}
+	// The restored pair must decrypt what the original public key encrypts.
+	ct, err := kp.Public().Encrypt([]byte("replica state"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	pt, err := got.Decrypt(ct)
+	if err != nil {
+		t.Fatalf("Decrypt with restored pair: %v", err)
+	}
+	if string(pt) != "replica state" {
+		t.Errorf("decrypted %q", pt)
+	}
+}
+
+func TestOAEPRoundTrip(t *testing.T) {
+	kp := testKeyPair(t)
+	pt := []byte("small payload")
+	ct, err := kp.Public().EncryptOAEP(pt)
+	if err != nil {
+		t.Fatalf("EncryptOAEP: %v", err)
+	}
+	got, err := kp.DecryptOAEP(ct)
+	if err != nil {
+		t.Fatalf("DecryptOAEP: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Error("OAEP round trip mismatch")
+	}
+}
+
+func TestOAEPRejectsOversize(t *testing.T) {
+	kp := testKeyPair(t)
+	limit := kp.Public().MaxSingleBlock()
+	if _, err := kp.Public().EncryptOAEP(make([]byte, limit+1)); err == nil {
+		t.Errorf("EncryptOAEP accepted %d bytes over a %d-byte limit", limit+1, limit)
+	}
+	if _, err := kp.Public().EncryptOAEP(make([]byte, limit)); err != nil {
+		t.Errorf("EncryptOAEP rejected exactly-limit payload: %v", err)
+	}
+}
+
+func TestHybridEncryptSmall(t *testing.T) {
+	kp := testKeyPair(t)
+	pt := []byte("fits in one block")
+	ct, err := kp.Public().Encrypt(pt)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if ct[0] != hybridModeDirect {
+		t.Errorf("small payload used mode %d, want direct", ct[0])
+	}
+	got, err := kp.Decrypt(ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Error("hybrid small round trip mismatch")
+	}
+}
+
+func TestHybridEncryptLarge(t *testing.T) {
+	// Reproduces the paper's §V-D scenario: the auxiliary-key path is too
+	// large for one OAEP block, so a one-time symmetric key carries it.
+	kp := testKeyPair(t)
+	pt := bytes.Repeat([]byte("key-path-material."), 64) // ~1.1 KB
+	ct, err := kp.Public().Encrypt(pt)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if ct[0] != hybridModeKeyed {
+		t.Errorf("large payload used mode %d, want keyed", ct[0])
+	}
+	got, err := kp.Decrypt(ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Error("hybrid large round trip mismatch")
+	}
+}
+
+func TestHybridBoundary(t *testing.T) {
+	kp := testKeyPair(t)
+	limit := kp.Public().MaxSingleBlock()
+	for _, size := range []int{limit - 1, limit, limit + 1} {
+		pt := bytes.Repeat([]byte{0x42}, size)
+		ct, err := kp.Public().Encrypt(pt)
+		if err != nil {
+			t.Fatalf("size %d: Encrypt: %v", size, err)
+		}
+		got, err := kp.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("size %d: Decrypt: %v", size, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("size %d: round trip mismatch", size)
+		}
+	}
+}
+
+func TestDecryptRejectsWrongRecipient(t *testing.T) {
+	alice, bob := testKeyPair(t), testKeyPair(t)
+	ct, err := alice.Public().Encrypt([]byte("for alice"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if _, err := bob.Decrypt(ct); err == nil {
+		t.Error("Decrypt succeeded with the wrong private key")
+	}
+}
+
+func TestDecryptRejectsTruncation(t *testing.T) {
+	kp := testKeyPair(t)
+	ct, err := kp.Public().Encrypt(bytes.Repeat([]byte{1}, 500))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	for _, n := range []int{0, 1, 2, 4, len(ct) / 2} {
+		if _, err := kp.Decrypt(ct[:n]); err == nil {
+			t.Errorf("Decrypt accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestDecryptRejectsUnknownMode(t *testing.T) {
+	kp := testKeyPair(t)
+	if _, err := kp.Decrypt([]byte{0x7F, 1, 2, 3}); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("unknown mode: err=%v, want ErrDecrypt", err)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	kp := testKeyPair(t)
+	data := []byte("signed message")
+	sig := kp.Sign(data)
+	if err := kp.Public().Verify(data, sig); err != nil {
+		t.Fatalf("Verify on valid signature: %v", err)
+	}
+	if err := kp.Public().Verify([]byte("altered"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("Verify on altered data: err=%v, want ErrBadSignature", err)
+	}
+	other := testKeyPair(t)
+	if err := other.Public().Verify(data, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("Verify under wrong key: err=%v, want ErrBadSignature", err)
+	}
+}
+
+func TestPublicKeyZeroValue(t *testing.T) {
+	var zero PublicKey
+	if !zero.IsZero() {
+		t.Error("zero PublicKey not reported zero")
+	}
+	if _, err := zero.Encrypt([]byte("x")); err == nil {
+		t.Error("Encrypt with zero key succeeded")
+	}
+	if err := zero.Verify([]byte("x"), []byte("sig")); err == nil {
+		t.Error("Verify with zero key succeeded")
+	}
+	if zero.Bits() != 0 {
+		t.Errorf("zero key Bits() = %d", zero.Bits())
+	}
+}
+
+func TestPublicKeyEqual(t *testing.T) {
+	a, b := testKeyPair(t), testKeyPair(t)
+	if !a.Public().Equal(a.Public()) {
+		t.Error("key not equal to itself")
+	}
+	if a.Public().Equal(b.Public()) {
+		t.Error("distinct keys reported equal")
+	}
+	var zero PublicKey
+	if a.Public().Equal(zero) || zero.Equal(a.Public()) {
+		t.Error("zero key equal to real key")
+	}
+	if !zero.Equal(PublicKey{}) {
+		t.Error("two zero keys not equal")
+	}
+}
+
+func TestRC4RoundTrip(t *testing.T) {
+	k := NewSymKey()
+	orig := []byte("multicast media payload")
+	buf := bytes.Clone(orig)
+	RC4XOR(k, buf)
+	if bytes.Equal(buf, orig) {
+		t.Fatal("RC4 did not change the data")
+	}
+	RC4XOR(k, buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("RC4 double application did not restore the data")
+	}
+}
+
+func TestPaperSingleBlockLimit(t *testing.T) {
+	// §V-D: with 2048-bit keys and OAEP padding, one block carries ~215
+	// usable bytes (OpenSSL reports 256-41; Go's SHA-1 OAEP gives 256-42).
+	if testing.Short() {
+		t.Skip("2048-bit key generation in -short mode")
+	}
+	kp, err := GenerateKeyPair(2048)
+	if err != nil {
+		t.Fatalf("GenerateKeyPair(2048): %v", err)
+	}
+	if got := kp.Public().MaxSingleBlock(); got != 214 {
+		t.Errorf("2048-bit single-block limit = %d, want 214 (paper: 215 with OpenSSL padding accounting)", got)
+	}
+}
+
+func TestPoolWarmAndGet(t *testing.T) {
+	p := NewPool(512)
+	if err := p.Warm(3); err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if p.Size() != 3 {
+		t.Fatalf("Size after Warm(3) = %d", p.Size())
+	}
+	seen := make(map[*KeyPair]bool)
+	for i := 0; i < 4; i++ { // one more than warmed: forces on-demand generation
+		kp, err := p.Get()
+		if err != nil {
+			t.Fatalf("Get #%d: %v", i, err)
+		}
+		if seen[kp] {
+			t.Fatal("pool handed out the same key twice")
+		}
+		seen[kp] = true
+	}
+	if p.Size() != 0 {
+		t.Errorf("Size after draining = %d", p.Size())
+	}
+	if p.Bits() != 512 {
+		t.Errorf("Bits() = %d", p.Bits())
+	}
+}

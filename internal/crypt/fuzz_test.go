@@ -1,0 +1,50 @@
+package crypt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpen hardens the authenticated-decryption path: arbitrary
+// ciphertexts must fail cleanly or round-trip, never panic.
+func FuzzOpen(f *testing.F) {
+	k := NewSymKey()
+	f.Add(Seal(k, []byte("seed plaintext")))
+	f.Add([]byte{})
+	f.Add(make([]byte, SealOverhead))
+	f.Add(make([]byte, SealOverhead-1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt, err := Open(k, data)
+		if err != nil {
+			return
+		}
+		// Anything that opens must re-seal and re-open to the same bytes.
+		again, err := Open(k, Seal(k, pt))
+		if err != nil || !bytes.Equal(again, pt) {
+			t.Error("seal/open not a round trip for opened plaintext")
+		}
+	})
+}
+
+// FuzzSealOpenRoundTrip asserts the core property over arbitrary
+// plaintexts and key bytes.
+func FuzzSealOpenRoundTrip(f *testing.F) {
+	f.Add([]byte("hello"), []byte("0123456789abcdef"))
+	f.Add([]byte{}, []byte("ffffffffffffffff"))
+	f.Fuzz(func(t *testing.T, pt, keyBytes []byte) {
+		if len(keyBytes) < SymKeyLen {
+			return
+		}
+		k, err := SymKeyFromBytes(keyBytes[:SymKeyLen])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Open(k, Seal(k, pt))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatal("round trip changed plaintext")
+		}
+	})
+}

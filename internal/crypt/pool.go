@@ -1,0 +1,82 @@
+package crypt
+
+import (
+	"sync"
+)
+
+// Pool hands out RSA key pairs, generating them in parallel ahead of
+// demand. Protocol experiments stand up hundreds of principals; generating
+// each key on the critical path would dominate runtime, so the pool
+// amortizes generation across CPUs. Keys from a Pool are never shared
+// between principals — Get removes the pair from the pool.
+type Pool struct {
+	bits int
+
+	mu    sync.Mutex
+	ready []*KeyPair
+}
+
+// NewPool returns a pool of key pairs with the given modulus size.
+func NewPool(bits int) *Pool {
+	return &Pool{bits: bits}
+}
+
+// Bits returns the modulus size of keys this pool produces.
+func (p *Pool) Bits() int { return p.bits }
+
+// Get returns a fresh key pair, generating one if none is pre-warmed.
+func (p *Pool) Get() (*KeyPair, error) {
+	p.mu.Lock()
+	if n := len(p.ready); n > 0 {
+		kp := p.ready[n-1]
+		p.ready = p.ready[:n-1]
+		p.mu.Unlock()
+		return kp, nil
+	}
+	p.mu.Unlock()
+	return GenerateKeyPair(p.bits)
+}
+
+// MustGet returns a fresh key pair or panics. Intended for tests and
+// example programs where key generation failure is unrecoverable.
+func (p *Pool) MustGet() *KeyPair {
+	kp, err := p.Get()
+	if err != nil {
+		panic(err)
+	}
+	return kp
+}
+
+// Warm generates n key pairs concurrently and stores them for later Get
+// calls. It returns the first generation error, if any; successfully
+// generated keys are kept either way.
+func (p *Pool) Warm(n int) error {
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kp, err := GenerateKeyPair(p.bits)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				return
+			}
+			p.mu.Lock()
+			p.ready = append(p.ready, kp)
+			p.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Size reports how many pre-generated pairs are available.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ready)
+}

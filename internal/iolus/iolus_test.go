@@ -1,0 +1,154 @@
+package iolus
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mykil/internal/crypt"
+)
+
+func join(t *testing.T, s *Subgroup, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Join(fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatalf("Join %d: %v", i, err)
+		}
+	}
+}
+
+func TestJoinLeaveLifecycle(t *testing.T) {
+	s := New(Config{})
+	join(t, s, 5)
+	if s.NumMembers() != 5 {
+		t.Fatalf("NumMembers = %d", s.NumMembers())
+	}
+	if !s.HasMember("m2") {
+		t.Error("m2 missing")
+	}
+	if _, err := s.Leave("m2"); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if s.HasMember("m2") || s.NumMembers() != 4 {
+		t.Error("leave did not remove member")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New(Config{})
+	join(t, s, 1)
+	if _, err := s.Join("m0"); !errors.Is(err, ErrMemberExists) {
+		t.Errorf("duplicate join: err=%v", err)
+	}
+	if _, err := s.Leave("ghost"); !errors.Is(err, ErrMemberUnknown) {
+		t.Errorf("unknown leave: err=%v", err)
+	}
+	if _, err := s.PairwiseKey("ghost"); !errors.Is(err, ErrMemberUnknown) {
+		t.Errorf("unknown pairwise: err=%v", err)
+	}
+}
+
+func TestKeyChangesOnEveryOperation(t *testing.T) {
+	s := New(Config{})
+	seen := map[crypt.SymKey]bool{s.Key(): true}
+	join(t, s, 3)
+	if _, err := s.Leave("m1"); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if seen[s.Key()] {
+		t.Error("subgroup key repeated")
+	}
+	if s.Epoch() != 4 {
+		t.Errorf("Epoch = %d, want 4", s.Epoch())
+	}
+}
+
+func TestLeaveTrafficMatchesPaper(t *testing.T) {
+	// §V-C: an area of 5000 members and 128-bit keys costs ~80,000 bytes
+	// per leave. We use 500 members (same formula, scaled).
+	s := New(Config{Accounting: true})
+	join(t, s, 500)
+	tr, err := s.Leave("m0")
+	if err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if tr.UnicastMessages != 499 {
+		t.Errorf("unicast messages = %d, want 499", tr.UnicastMessages)
+	}
+	if tr.UnicastBytes != 499*crypt.SymKeyLen {
+		t.Errorf("unicast bytes = %d, want %d", tr.UnicastBytes, 499*crypt.SymKeyLen)
+	}
+	if tr.MulticastBytes != 0 {
+		t.Errorf("leave produced multicast bytes %d", tr.MulticastBytes)
+	}
+	if tr.TotalBytes() != tr.UnicastBytes {
+		t.Error("TotalBytes mismatch")
+	}
+}
+
+func TestJoinTrafficIsOneKey(t *testing.T) {
+	s := New(Config{})
+	join(t, s, 10)
+	tr, err := s.Join("late")
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if tr.MulticastMessages != 1 || tr.MulticastBytes != crypt.SymKeyLen {
+		t.Errorf("join multicast = %d msgs / %d bytes, want 1 / %d",
+			tr.MulticastMessages, tr.MulticastBytes, crypt.SymKeyLen)
+	}
+}
+
+func TestStorageCountsMatchPaper(t *testing.T) {
+	s := New(Config{})
+	join(t, s, 100)
+	if got := s.ControllerKeyCount(); got != 101 {
+		t.Errorf("controller keys = %d, want 101 (m pairwise + 1 subgroup)", got)
+	}
+	if got := s.MemberKeyCount(); got != 2 {
+		t.Errorf("member keys = %d, want 2", got)
+	}
+}
+
+func TestRekeyMessagesDecryptOnlyWithPairwise(t *testing.T) {
+	s := New(Config{})
+	join(t, s, 4)
+	if _, err := s.Leave("m3"); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	msgs := s.RekeyMessages()
+	if len(msgs) != 3 {
+		t.Fatalf("rekey messages = %d, want 3", len(msgs))
+	}
+	for id, ct := range msgs {
+		pk, err := s.PairwiseKey(id)
+		if err != nil {
+			t.Fatalf("PairwiseKey(%s): %v", id, err)
+		}
+		pt, err := crypt.Open(pk, ct)
+		if err != nil {
+			t.Fatalf("member %s cannot decrypt its rekey: %v", id, err)
+		}
+		got, err := crypt.SymKeyFromBytes(pt)
+		if err != nil {
+			t.Fatalf("bad key bytes: %v", err)
+		}
+		if !got.Equal(s.Key()) {
+			t.Errorf("member %s decrypted the wrong key", id)
+		}
+		// A random key must not open it.
+		if _, err := crypt.Open(crypt.NewSymKey(), ct); err == nil {
+			t.Error("random key opened a pairwise rekey message")
+		}
+	}
+}
+
+func TestAccountingCiphertextSize(t *testing.T) {
+	s := New(Config{Accounting: true})
+	join(t, s, 3)
+	for id, ct := range s.RekeyMessages() {
+		if len(ct) != crypt.SymKeyLen {
+			t.Errorf("accounting ciphertext for %s is %d bytes", id, len(ct))
+		}
+	}
+}

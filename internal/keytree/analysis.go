@@ -1,0 +1,49 @@
+package keytree
+
+// This file holds measurement helpers for the paper's evaluation: they
+// inspect a tree and a rekey message the way §V-B's CPU analysis and
+// §V-C's bandwidth analysis do, without touching protocol state.
+
+// ChangedNodes returns the set of node IDs whose keys a KeyUpdate
+// rotates.
+func ChangedNodes(u *KeyUpdate) map[NodeID]bool {
+	changed := make(map[NodeID]bool, len(u.Entries))
+	for _, e := range u.Entries {
+		changed[e.Node] = true
+	}
+	return changed
+}
+
+// UpdateCountsPerMember computes, for every current member, how many of
+// its path keys a rekey message rotates — the per-member CPU cost
+// distribution of §V-B. The returned map is keyed by update count; values
+// are member counts.
+func UpdateCountsPerMember(t *Tree, u *KeyUpdate) map[int]int {
+	changed := ChangedNodes(u)
+	counts := make(map[int]int)
+	for _, leaf := range t.members {
+		k := 0
+		for n := leaf; n != nil; n = n.parent {
+			if changed[n.id] {
+				k++
+			}
+		}
+		counts[k]++
+	}
+	return counts
+}
+
+// MemberKeyCount returns how many symmetric keys member m stores (its
+// path length) — the §V-A member storage metric.
+func (t *Tree) MemberKeyCount(m MemberID) (int, error) {
+	ids, err := t.PathNodeIDs(m)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// MaxMemberKeyCount returns the deepest member's key count.
+func (t *Tree) MaxMemberKeyCount() int {
+	return t.maxDepth + 1
+}

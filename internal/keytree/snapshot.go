@@ -1,0 +1,147 @@
+package keytree
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"mykil/internal/crypt"
+)
+
+// Snapshot is a serializable image of a Tree, exchanged between a primary
+// area controller and its backup (§IV-C: the replicated state includes
+// "the complete auxiliary tree"). Fields are exported for encoding/gob.
+type Snapshot struct {
+	Arity int
+	Epoch uint64
+	Nodes []SnapshotNode
+}
+
+// SnapshotNode is one node in pre-order; Parent indexes into Snapshot.Nodes
+// (-1 for the root). Children order is preserved by emission order.
+type SnapshotNode struct {
+	ID     NodeID
+	Parent int
+	Key    crypt.SymKey
+	Member MemberID
+}
+
+// ErrBadSnapshot reports a snapshot that cannot be a valid tree image.
+var ErrBadSnapshot = errors.New("keytree: malformed snapshot")
+
+// Export captures the tree's full state.
+func (t *Tree) Export() *Snapshot {
+	s := &Snapshot{
+		Arity: t.cfg.Arity,
+		Epoch: t.epoch,
+		Nodes: make([]SnapshotNode, 0, t.numNodes),
+	}
+	// Pre-order walk, recording each node's index for child back-refs.
+	type frame struct {
+		n      *node
+		parent int
+	}
+	stack := []frame{{t.root, -1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		idx := len(s.Nodes)
+		s.Nodes = append(s.Nodes, SnapshotNode{
+			ID:     f.n.id,
+			Parent: f.parent,
+			Key:    f.n.key,
+			Member: f.n.member,
+		})
+		// Push children in reverse so they pop (and emit) left-to-right.
+		for i := len(f.n.children) - 1; i >= 0; i-- {
+			stack = append(stack, frame{f.n.children[i], idx})
+		}
+	}
+	return s
+}
+
+// Import reconstructs a Tree from a snapshot, using the given config for
+// encryptor/keygen/prune behaviour (Arity comes from the snapshot).
+func Import(s *Snapshot, cfg Config) (*Tree, error) {
+	if len(s.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", ErrBadSnapshot)
+	}
+	if s.Nodes[0].Parent != -1 {
+		return nil, fmt.Errorf("%w: first node is not the root", ErrBadSnapshot)
+	}
+	cfg.Arity = s.Arity
+	t := New(cfg)
+	// Discard the fresh root New created; rebuild from the snapshot.
+	t.members = make(map[MemberID]*node, len(s.Nodes))
+	t.vacant = &nodeHeap{}
+	t.occupied = &nodeHeap{}
+	t.numNodes = 0
+	t.maxDepth = 0
+	t.epoch = s.Epoch
+
+	nodes := make([]*node, len(s.Nodes))
+	var maxID NodeID
+	for i, sn := range s.Nodes {
+		n := &node{id: sn.ID, key: sn.Key, member: sn.Member}
+		if sn.ID > maxID {
+			maxID = sn.ID
+		}
+		switch {
+		case sn.Parent == -1:
+			if i != 0 {
+				return nil, fmt.Errorf("%w: multiple roots", ErrBadSnapshot)
+			}
+			t.root = n
+		case sn.Parent < 0 || sn.Parent >= i:
+			return nil, fmt.Errorf("%w: node %d has forward or invalid parent %d", ErrBadSnapshot, i, sn.Parent)
+		default:
+			p := nodes[sn.Parent]
+			if len(p.children) >= s.Arity {
+				return nil, fmt.Errorf("%w: node %d exceeds arity %d", ErrBadSnapshot, sn.Parent, s.Arity)
+			}
+			n.parent = p
+			n.depth = p.depth + 1
+			p.children = append(p.children, n)
+		}
+		nodes[i] = n
+		t.numNodes++
+		if n.depth > t.maxDepth {
+			t.maxDepth = n.depth
+		}
+	}
+	for _, n := range nodes {
+		if n.member != "" {
+			if !n.isLeaf() {
+				return nil, fmt.Errorf("%w: internal node %d carries member %q", ErrBadSnapshot, n.id, n.member)
+			}
+			if _, dup := t.members[n.member]; dup {
+				return nil, fmt.Errorf("%w: member %q appears twice", ErrBadSnapshot, n.member)
+			}
+			t.members[n.member] = n
+			heap.Push(t.occupied, n)
+		} else if n.isLeaf() {
+			heap.Push(t.vacant, n)
+		}
+	}
+	t.nextID = maxID + 1
+	recountMembers(t.root)
+	return t, nil
+}
+
+// recountMembers rebuilds the cached per-subtree member counts.
+func recountMembers(n *node) int {
+	if n.isLeaf() {
+		if n.member != "" {
+			n.memberCount = 1
+		} else {
+			n.memberCount = 0
+		}
+		return n.memberCount
+	}
+	total := 0
+	for _, c := range n.children {
+		total += recountMembers(c)
+	}
+	n.memberCount = total
+	return total
+}

@@ -1,0 +1,254 @@
+package keytree
+
+import (
+	"errors"
+	"fmt"
+
+	"mykil/internal/crypt"
+)
+
+// NodeID identifies a node in one auxiliary-key tree. IDs are stable for
+// the life of the node; keys rotate underneath them.
+type NodeID int64
+
+// MemberID identifies a group member within an area.
+type MemberID string
+
+// Entry is one encrypted key in a rekey message: the new key of node Node,
+// encrypted under the key of node Under. In join-mode updates Under ==
+// Node (new key encrypted under the node's previous key); in leave-mode
+// updates Under is a child of Node, per the paper's §III-D scheme.
+type Entry struct {
+	Node       NodeID
+	Under      NodeID
+	Ciphertext []byte
+}
+
+// KeyUpdate is the multicast rekey message an area controller sends after
+// join/leave events (or a batch of them). Entries are ordered bottom-up so
+// a member processing them sequentially always holds the decryption key by
+// the time it needs it.
+type KeyUpdate struct {
+	// Epoch is the tree's key epoch after applying this update. Members
+	// track epochs to detect missed updates (e.g. across a partition).
+	Epoch uint64
+	// Entries carry the re-encrypted keys.
+	Entries []Entry
+}
+
+// NumKeys returns how many encrypted keys the update carries — the unit
+// the paper's bandwidth analysis counts (×16 bytes per key).
+func (u *KeyUpdate) NumKeys() int {
+	if u == nil {
+		return 0
+	}
+	return len(u.Entries)
+}
+
+// PaperBytes returns the update size under the paper's accounting: one
+// symmetric key length per encrypted key, no framing or cipher overhead.
+func (u *KeyUpdate) PaperBytes() int { return u.NumKeys() * crypt.SymKeyLen }
+
+// WireBytes returns the sum of actual ciphertext lengths.
+func (u *KeyUpdate) WireBytes() int {
+	if u == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range u.Entries {
+		total += len(e.Ciphertext)
+	}
+	return total
+}
+
+// PathKey is one (node, key) pair on a member's root path.
+type PathKey struct {
+	Node NodeID
+	Key  crypt.SymKey
+}
+
+// PathKeys is a member's key material, ordered leaf first, root last. This
+// is what join protocol step 7 delivers encrypted under the member's
+// public key.
+type PathKeys []PathKey
+
+// Root returns the last (root) entry. Panics on empty paths, which the
+// tree never produces.
+func (p PathKeys) Root() PathKey { return p[len(p)-1] }
+
+// Errors returned by view operations.
+var (
+	// ErrStale reports an update for an epoch at or below the view's.
+	ErrStale = errors.New("keytree: stale key update")
+	// ErrEpochGap reports one or more missed updates; the member can no
+	// longer follow the key sequence and must rejoin (§IV-B).
+	ErrEpochGap = errors.New("keytree: missed key update(s)")
+)
+
+// MemberView is the key state one member maintains: the keys along its
+// path, indexed by node ID. The area controller builds the authoritative
+// tree; each member holds only this view and evolves it by applying the
+// KeyUpdates it receives.
+type MemberView struct {
+	epoch uint64
+	path  []NodeID // leaf first, root last
+	keys  map[NodeID]crypt.SymKey
+	enc   Encryptor
+}
+
+// NewMemberView builds a view from the initial path keys delivered at
+// join, at the given epoch.
+func NewMemberView(initial PathKeys, epoch uint64, enc Encryptor) *MemberView {
+	v := &MemberView{
+		epoch: epoch,
+		path:  make([]NodeID, 0, len(initial)),
+		keys:  make(map[NodeID]crypt.SymKey, len(initial)),
+		enc:   enc,
+	}
+	for _, pk := range initial {
+		v.path = append(v.path, pk.Node)
+		v.keys[pk.Node] = pk.Key
+	}
+	return v
+}
+
+// Epoch returns the view's current key epoch.
+func (v *MemberView) Epoch() uint64 { return v.epoch }
+
+// AreaKey returns the member's current area (root) key.
+func (v *MemberView) AreaKey() crypt.SymKey {
+	if len(v.path) == 0 {
+		return crypt.SymKey{}
+	}
+	return v.keys[v.path[len(v.path)-1]]
+}
+
+// NumKeys returns how many keys the member currently stores — the
+// quantity in the paper's §V-A storage analysis.
+func (v *MemberView) NumKeys() int { return len(v.keys) }
+
+// PathKeys returns a copy of the view's current key material, leaf first
+// — used when the holder must persist or replicate its state.
+func (v *MemberView) PathKeys() PathKeys {
+	out := make(PathKeys, 0, len(v.path))
+	for _, id := range v.path {
+		out = append(out, PathKey{Node: id, Key: v.keys[id]})
+	}
+	return out
+}
+
+// PathLen returns the length of the member's root path.
+func (v *MemberView) PathLen() int { return len(v.path) }
+
+// Rebase replaces the view's key material, used when a member is moved to
+// a new leaf (displacement during a split) or rejoins an area.
+func (v *MemberView) Rebase(fresh PathKeys, epoch uint64) {
+	v.path = v.path[:0]
+	for k := range v.keys {
+		delete(v.keys, k)
+	}
+	for _, pk := range fresh {
+		v.path = append(v.path, pk.Node)
+		v.keys[pk.Node] = pk.Key
+	}
+	v.epoch = epoch
+}
+
+// Apply consumes one KeyUpdate, decrypting every entry whose "under" key
+// the member holds and whose "node" lies on the member's path. It returns
+// the number of keys the member actually updated (the paper's §V-B CPU
+// metric) or an error if the update is stale or out of sequence.
+func (v *MemberView) Apply(u *KeyUpdate) (updated int, err error) {
+	if u.Epoch <= v.epoch {
+		return 0, fmt.Errorf("%w: update epoch %d, view epoch %d", ErrStale, u.Epoch, v.epoch)
+	}
+	if u.Epoch != v.epoch+1 {
+		return 0, fmt.Errorf("%w: update epoch %d, view epoch %d", ErrEpochGap, u.Epoch, v.epoch)
+	}
+	onPath := make(map[NodeID]bool, len(v.path))
+	for _, id := range v.path {
+		onPath[id] = true
+	}
+	for _, e := range u.Entries {
+		if !onPath[e.Node] {
+			continue
+		}
+		underKey, ok := v.keys[e.Under]
+		if !ok {
+			continue
+		}
+		newKey, decErr := v.enc.DecryptKey(underKey, e.Ciphertext)
+		if decErr != nil {
+			// Under self-encryption (join mode) our key for this node may
+			// already be the new one (fresh unicast); skip quietly.
+			continue
+		}
+		if existing, ok := v.keys[e.Node]; ok && existing.Equal(newKey) {
+			continue
+		}
+		v.keys[e.Node] = newKey
+		updated++
+	}
+	v.epoch = u.Epoch
+	return updated, nil
+}
+
+// Encryptor abstracts the key-wrapping cipher so experiments can swap real
+// AES-CTR+HMAC for a zero-overhead accounting cipher that reproduces the
+// paper's "16 bytes per key" bandwidth arithmetic.
+type Encryptor interface {
+	// EncryptKey wraps payload under the key `under`.
+	EncryptKey(under, payload crypt.SymKey) []byte
+	// DecryptKey unwraps a ciphertext produced by EncryptKey.
+	DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt.SymKey, error)
+}
+
+// SealingEncryptor wraps keys with real authenticated encryption
+// (crypt.Seal/Open). Use for anything security-relevant.
+type SealingEncryptor struct{}
+
+var _ Encryptor = SealingEncryptor{}
+
+// EncryptKey implements Encryptor.
+func (SealingEncryptor) EncryptKey(under, payload crypt.SymKey) []byte {
+	return crypt.Seal(under, payload[:])
+}
+
+// DecryptKey implements Encryptor.
+func (SealingEncryptor) DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt.SymKey, error) {
+	pt, err := crypt.Open(under, ciphertext)
+	if err != nil {
+		return crypt.SymKey{}, err
+	}
+	return crypt.SymKeyFromBytes(pt)
+}
+
+// AccountingEncryptor produces ciphertexts of exactly key length with no
+// overhead — the paper's bandwidth accounting (§V-C counts 16 bytes per
+// encrypted key). It provides NO confidentiality: ciphertext is keyed XOR,
+// and decryption with a wrong key yields garbage rather than an error.
+// Only size and message-structure experiments may use it.
+type AccountingEncryptor struct{}
+
+var _ Encryptor = AccountingEncryptor{}
+
+// EncryptKey implements Encryptor.
+func (AccountingEncryptor) EncryptKey(under, payload crypt.SymKey) []byte {
+	out := make([]byte, crypt.SymKeyLen)
+	for i := range out {
+		out[i] = payload[i] ^ under[i]
+	}
+	return out
+}
+
+// DecryptKey implements Encryptor.
+func (AccountingEncryptor) DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt.SymKey, error) {
+	if len(ciphertext) != crypt.SymKeyLen {
+		return crypt.SymKey{}, crypt.ErrShortCiphertext
+	}
+	var k crypt.SymKey
+	for i := range k {
+		k[i] = ciphertext[i] ^ under[i]
+	}
+	return k, nil
+}

@@ -1,0 +1,57 @@
+// Package lkh implements the LKH (logical key hierarchy) baseline of Wong
+// et al. [21] the paper compares against: a single key server maintaining
+// one tree-structured key hierarchy over the entire multicast group. It
+// reuses the auxiliary-key-tree engine (internal/keytree) with the whole
+// group as one "area"; what distinguishes it from Mykil is exactly what
+// the paper's analysis says — one global tree, one centralized server, no
+// areas, no partition tolerance.
+package lkh
+
+import (
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+)
+
+// KeyServer is the centralized LKH key manager.
+type KeyServer struct {
+	tree *keytree.Tree
+}
+
+// New creates a key server with the given tree configuration.
+func New(cfg keytree.Config) *KeyServer {
+	return &KeyServer{tree: keytree.New(cfg)}
+}
+
+// Tree exposes the underlying key tree for measurement.
+func (s *KeyServer) Tree() *keytree.Tree { return s.tree }
+
+// GroupKey returns the current group key (the tree root).
+func (s *KeyServer) GroupKey() crypt.SymKey { return s.tree.AreaKey() }
+
+// Join admits one member.
+func (s *KeyServer) Join(m keytree.MemberID) (*keytree.BatchResult, error) {
+	return s.tree.Join(m)
+}
+
+// Leave removes one member, rekeying its root path.
+func (s *KeyServer) Leave(m keytree.MemberID) (*keytree.BatchResult, error) {
+	return s.tree.Leave(m)
+}
+
+// BatchLeave removes several members in one rekey operation.
+func (s *KeyServer) BatchLeave(ms []keytree.MemberID) (*keytree.BatchResult, error) {
+	return s.tree.BatchLeave(ms)
+}
+
+// NumMembers returns the group size.
+func (s *KeyServer) NumMembers() int { return s.tree.NumMembers() }
+
+// ServerKeyCount returns how many keys the server stores — §V-A notes
+// this is the whole tree (≈ 2^18 keys for 100,000 members in the paper's
+// binary accounting).
+func (s *KeyServer) ServerKeyCount() int { return s.tree.NumNodes() }
+
+// MemberKeyCount returns how many keys one member stores (its path).
+func (s *KeyServer) MemberKeyCount(m keytree.MemberID) (int, error) {
+	return s.tree.MemberKeyCount(m)
+}

@@ -1,0 +1,88 @@
+package lkh
+
+import (
+	"fmt"
+	"testing"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+)
+
+func joinN(t *testing.T, s *KeyServer, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := s.Join(keytree.MemberID(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("Join %d: %v", i, err)
+		}
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	s := New(keytree.Config{Arity: 4})
+	joinN(t, s, 20)
+	if s.NumMembers() != 20 {
+		t.Fatalf("NumMembers = %d", s.NumMembers())
+	}
+	key := s.GroupKey()
+	if _, err := s.Leave("m7"); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	if s.NumMembers() != 19 {
+		t.Errorf("NumMembers after leave = %d", s.NumMembers())
+	}
+	if s.GroupKey().Equal(key) {
+		t.Error("group key unchanged by leave")
+	}
+}
+
+func TestPaperLeaveMessageSize(t *testing.T) {
+	// §V-C computes the LKH leave rekey as 2 encryptions per level of a
+	// binary tree: our engine produces 2d-1 entries for a complete tree
+	// of depth d (the vacated leaf is skipped as a target).
+	s := New(keytree.Config{Arity: 2, Encryptor: keytree.AccountingEncryptor{}})
+	joinN(t, s, 1024) // depth 10
+	res, err := s.Leave("m0")
+	if err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	want := (2*10 - 1) * crypt.SymKeyLen
+	if got := res.Update.PaperBytes(); got != want {
+		t.Errorf("leave rekey bytes = %d, want %d", got, want)
+	}
+}
+
+func TestServerStoresWholeTree(t *testing.T) {
+	s := New(keytree.Config{Arity: 2, Encryptor: keytree.AccountingEncryptor{}})
+	joinN(t, s, 256)
+	if got := s.ServerKeyCount(); got != 511 {
+		t.Errorf("server keys = %d, want 511 (complete binary tree)", got)
+	}
+	mk, err := s.MemberKeyCount("m0")
+	if err != nil {
+		t.Fatalf("MemberKeyCount: %v", err)
+	}
+	if mk != 9 { // depth 8 + root
+		t.Errorf("member keys = %d, want 9", mk)
+	}
+}
+
+func TestBatchLeaveSharesPaths(t *testing.T) {
+	s := New(keytree.Config{Arity: 2, Encryptor: keytree.AccountingEncryptor{}})
+	joinN(t, s, 64)
+	cohort, err := s.Tree().CohortOf("m0", 4)
+	if err != nil {
+		t.Fatalf("CohortOf: %v", err)
+	}
+	res, err := s.BatchLeave(cohort)
+	if err != nil {
+		t.Fatalf("BatchLeave: %v", err)
+	}
+	// Four separate leaves at depth 6 would cost ~4×11 entries; the
+	// clustered batch must cost well under that.
+	if res.Update.NumKeys() >= 44 {
+		t.Errorf("batched entries = %d, want < 44", res.Update.NumKeys())
+	}
+	if s.NumMembers() != 60 {
+		t.Errorf("NumMembers = %d", s.NumMembers())
+	}
+}

@@ -1,0 +1,175 @@
+package member
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mykil/internal/crypt"
+	"mykil/internal/simnet"
+	"mykil/internal/transport"
+)
+
+var (
+	testPoolOnce sync.Once
+	testPool     *crypt.Pool
+)
+
+func keyPair(t *testing.T) *crypt.KeyPair {
+	t.Helper()
+	testPoolOnce.Do(func() {
+		testPool = crypt.NewPool(512)
+		if err := testPool.Warm(4); err != nil {
+			t.Fatalf("warming pool: %v", err)
+		}
+	})
+	kp, err := testPool.Get()
+	if err != nil {
+		t.Fatalf("key pair: %v", err)
+	}
+	return kp
+}
+
+// newMember stands up a member on a private simnet with no servers: the
+// right fixture for error-path tests.
+func newMember(t *testing.T, mutate func(*Config)) (*Member, *simnet.Network) {
+	t.Helper()
+	n := simnet.New(simnet.Config{})
+	tr, err := transport.NewSim(n, "m")
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	rsKeys := keyPair(t)
+	cfg := Config{
+		ID:        "m",
+		Transport: tr,
+		Keys:      keyPair(t),
+		RSAddr:    "rs",
+		RSPub:     rsKeys.Public(),
+		AuthInfo:  "valid",
+		TIdle:     20 * time.Millisecond,
+		TActive:   40 * time.Millisecond,
+		OpTimeout: 150 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Start()
+	t.Cleanup(func() {
+		m.Close()
+		_ = tr.Close()
+		n.Close()
+	})
+	return m, n
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestSendRequiresConnection(t *testing.T) {
+	m, _ := newMember(t, nil)
+	if err := m.Send([]byte("x")); !errors.Is(err, ErrNotConnected) {
+		t.Errorf("Send while detached: err=%v, want ErrNotConnected", err)
+	}
+}
+
+func TestRejoinWithoutTicket(t *testing.T) {
+	m, _ := newMember(t, nil)
+	if err := m.Rejoin("ac-1"); err == nil {
+		t.Error("Rejoin without a ticket succeeded")
+	}
+}
+
+func TestJoinWithoutRegistrationServer(t *testing.T) {
+	m, _ := newMember(t, func(c *Config) {
+		c.RSAddr = ""
+		c.RSPub = crypt.PublicKey{}
+	})
+	if err := m.Join(); err == nil {
+		t.Error("Join without an RS configured succeeded")
+	}
+}
+
+func TestJoinTimesOutWhenRSUnreachable(t *testing.T) {
+	// "rs" is not registered on the network: step 1 is lost and the
+	// operation must time out.
+	m, _ := newMember(t, nil)
+	start := time.Now()
+	err := m.Join()
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("Join: err=%v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v", elapsed)
+	}
+}
+
+func TestLeaveWhileDetachedIsNoop(t *testing.T) {
+	m, _ := newMember(t, nil)
+	if err := m.Leave(); err != nil {
+		t.Errorf("Leave while detached: %v", err)
+	}
+}
+
+func TestAccessorsOnFreshMember(t *testing.T) {
+	m, _ := newMember(t, nil)
+	if m.Connected() {
+		t.Error("fresh member connected")
+	}
+	if m.AreaID() != "" || m.ControllerID() != "" {
+		t.Error("fresh member has area state")
+	}
+	if m.Epoch() != 0 || m.Received() != 0 || m.Rekeys() != 0 || m.NumKeys() != 0 {
+		t.Error("fresh member has nonzero counters")
+	}
+	if len(m.Directory()) != 0 {
+		t.Error("fresh member has a directory")
+	}
+}
+
+func TestCloseUnblocksPendingOp(t *testing.T) {
+	m, _ := newMember(t, func(c *Config) { c.OpTimeout = time.Hour })
+	done := make(chan error, 1)
+	go func() { done <- m.Join() }()
+	time.Sleep(30 * time.Millisecond) // let the op register
+	m.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Errorf("Join after Close: err=%v, want ErrStopped", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Join never returned after Close")
+	}
+}
+
+func TestConcurrentOpRejected(t *testing.T) {
+	m, _ := newMember(t, func(c *Config) { c.OpTimeout = time.Hour })
+	first := make(chan error, 1)
+	go func() { first <- m.Join() }()
+	time.Sleep(30 * time.Millisecond)
+	if err := m.Rejoin("ac-0"); !errors.Is(err, ErrBusy) {
+		t.Errorf("second op: err=%v, want ErrBusy", err)
+	}
+	m.Close()
+	<-first
+}
+
+func TestCallAfterClose(t *testing.T) {
+	m, _ := newMember(t, nil)
+	m.Close()
+	if m.Connected() {
+		t.Error("Connected true after close")
+	}
+	if err := m.Send([]byte("x")); err == nil {
+		t.Error("Send after close succeeded")
+	}
+}

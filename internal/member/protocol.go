@@ -1,0 +1,307 @@
+package member
+
+import (
+	"fmt"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+	"mykil/internal/wire"
+)
+
+// startJoin begins the seven-step join protocol (loop context).
+func (m *Member) startJoin(errc chan error) {
+	if m.op != nil {
+		errc <- ErrBusy
+		return
+	}
+	if m.cfg.RSAddr == "" || m.cfg.RSPub.IsZero() {
+		errc <- fmt.Errorf("member: no registration server configured")
+		return
+	}
+	m.op = &pendingOp{
+		kind:     opJoin,
+		deadline: m.clk.Now().Add(m.cfg.OpTimeout),
+		errc:     errc,
+		nonceCW:  crypt.Nonce(),
+	}
+	// Step 1: {auth-info; Pub_k; Nonce_CW; MAC}_Pub_rs.
+	m.sendSealed(m.cfg.RSAddr, m.cfg.RSPub, wire.KindJoinRequest, wire.JoinRequest{
+		AuthInfo:   m.cfg.AuthInfo,
+		ClientID:   m.cfg.ID,
+		ClientAddr: m.cfg.Transport.Addr(),
+		ClientPub:  m.cfg.Keys.Public().Marshal(),
+		NonceCW:    m.op.nonceCW,
+	})
+}
+
+// handleJoinChallenge is step 2; it answers with step 3.
+func (m *Member) handleJoinChallenge(f *wire.Frame) {
+	if m.op == nil || m.op.kind != opJoin {
+		return
+	}
+	var ch wire.JoinChallenge
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &ch); err != nil {
+		m.cfg.Logf("%s: join step 2: %v", m.cfg.ID, err)
+		return
+	}
+	// Authenticate the RS: only the holder of the well-known key's
+	// private half could read Nonce_CW.
+	if ch.NonceCWPlus1 != m.op.nonceCW+1 {
+		m.failOp(fmt.Errorf("%w: registration server failed nonce check", ErrDenied))
+		return
+	}
+	// Step 3: {Nonce_WC+1; MAC}_Pub_rs.
+	m.sendSealed(m.cfg.RSAddr, m.cfg.RSPub, wire.KindJoinResponse, wire.JoinResponse{
+		ClientID:     m.cfg.ID,
+		NonceWCPlus1: ch.NonceWC + 1,
+	})
+}
+
+// handleJoinGrant is step 5; it answers with step 6 to the assigned AC.
+func (m *Member) handleJoinGrant(f *wire.Frame) {
+	if m.op == nil || m.op.kind != opJoin {
+		return
+	}
+	// The grant is signed by the RS (§III-B step 5).
+	if err := m.cfg.RSPub.Verify(f.Body, f.Sig); err != nil {
+		m.cfg.Logf("%s: join grant with bad signature", m.cfg.ID)
+		return
+	}
+	var g wire.JoinGrant
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &g); err != nil {
+		m.cfg.Logf("%s: join step 5: %v", m.cfg.ID, err)
+		return
+	}
+	acPub, err := crypt.ParsePublicKey(g.AC.PubDER)
+	if err != nil {
+		m.failOp(fmt.Errorf("member: assigned controller key unparsable: %w", err))
+		return
+	}
+	m.op.acAddr = g.AC.Addr
+	m.op.acID = g.AC.ID
+	m.op.acPub = acPub
+	m.op.nonceCA = crypt.Nonce()
+	m.directory = append([]wire.ACInfo(nil), g.Directory...)
+
+	// Step 6: {Nonce_AC+2; Nonce_CA; MAC}_Pub_ac.
+	m.sendSealed(g.AC.Addr, acPub, wire.KindJoinToAC, wire.JoinToAC{
+		ClientID:     m.cfg.ID,
+		ClientAddr:   m.cfg.Transport.Addr(),
+		NonceACPlus2: g.NonceACPlus1 + 1,
+		NonceCA:      m.op.nonceCA,
+	})
+}
+
+// handleJoinWelcome is step 7: admission.
+func (m *Member) handleJoinWelcome(f *wire.Frame) {
+	if m.op == nil || m.op.kind != opJoin {
+		return
+	}
+	var w wire.JoinWelcome
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &w); err != nil {
+		m.cfg.Logf("%s: join step 7: %v", m.cfg.ID, err)
+		return
+	}
+	// Authenticate the AC: it echoed our challenge from step 6.
+	if w.NonceCAPlus1 != m.op.nonceCA+1 {
+		m.failOp(fmt.Errorf("%w: controller failed nonce check", ErrDenied))
+		return
+	}
+	m.attach(m.op.acID, m.op.acAddr, m.op.acPub, w.AreaID, w.Path, w.Epoch, w.TicketBlob, w.BackupAddr, w.BackupPub)
+	m.completeOp(nil)
+}
+
+// handleJoinDenied fails a pending join.
+func (m *Member) handleJoinDenied(f *wire.Frame) {
+	if m.op == nil {
+		return
+	}
+	var d wire.JoinDenied
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &d); err != nil {
+		return
+	}
+	m.failOp(fmt.Errorf("%w: %s", ErrDenied, d.Reason))
+}
+
+// startRejoin begins the six-step rejoin protocol toward acID (loop
+// context).
+func (m *Member) startRejoin(acID string, errc chan error) {
+	if m.op != nil {
+		errc <- ErrBusy
+		return
+	}
+	if len(m.ticketBlob) == 0 {
+		errc <- fmt.Errorf("member: no ticket held; full join required")
+		return
+	}
+	var target *wire.ACInfo
+	for i := range m.directory {
+		if m.directory[i].ID == acID {
+			target = &m.directory[i]
+			break
+		}
+	}
+	if target == nil {
+		errc <- fmt.Errorf("member: controller %q not in directory", acID)
+		return
+	}
+	pub, err := crypt.ParsePublicKey(target.PubDER)
+	if err != nil {
+		errc <- fmt.Errorf("member: controller %q key unparsable: %w", acID, err)
+		return
+	}
+	m.op = &pendingOp{
+		kind:     opRejoin,
+		deadline: m.clk.Now().Add(m.cfg.OpTimeout),
+		errc:     errc,
+		nonceCB:  crypt.Nonce(),
+		acAddr:   target.Addr,
+		acID:     target.ID,
+		acPub:    pub,
+	}
+	// Step 1: {Nonce_CB; ticket; MAC}_Pub_ac_b.
+	m.sendSealed(target.Addr, pub, wire.KindRejoinRequest, wire.RejoinRequest{
+		ClientID:   m.cfg.ID,
+		ClientAddr: m.cfg.Transport.Addr(),
+		NonceCB:    m.op.nonceCB,
+		TicketBlob: m.ticketBlob,
+	})
+}
+
+// handleRejoinChallenge is step 2; it answers with step 3.
+func (m *Member) handleRejoinChallenge(f *wire.Frame) {
+	if m.op == nil || m.op.kind != opRejoin {
+		return
+	}
+	var ch wire.RejoinChallenge
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &ch); err != nil {
+		return
+	}
+	if ch.NonceCBPlus1 != m.op.nonceCB+1 {
+		m.failOp(fmt.Errorf("%w: controller failed nonce check", ErrDenied))
+		return
+	}
+	// Step 3: {Nonce_BC+1; MAC}_Pub_ac_b.
+	m.sendSealed(m.op.acAddr, m.op.acPub, wire.KindRejoinResponse, wire.RejoinResponse{
+		ClientID:     m.cfg.ID,
+		NonceBCPlus1: ch.NonceBC + 1,
+	})
+}
+
+// handleRejoinWelcome is step 6: admission into the new area.
+func (m *Member) handleRejoinWelcome(f *wire.Frame) {
+	if m.op == nil || m.op.kind != opRejoin {
+		return
+	}
+	// Step 6 is signed by the new controller.
+	if err := m.op.acPub.Verify(f.Body, f.Sig); err != nil {
+		m.cfg.Logf("%s: rejoin welcome with bad signature", m.cfg.ID)
+		return
+	}
+	var w wire.RejoinWelcome
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &w); err != nil {
+		return
+	}
+	m.attach(m.op.acID, m.op.acAddr, m.op.acPub, w.AreaID, w.Path, w.Epoch, w.TicketBlob, w.BackupAddr, w.BackupPub)
+	m.completeOp(nil)
+}
+
+// handleRejoinDenied fails a pending rejoin.
+func (m *Member) handleRejoinDenied(f *wire.Frame) {
+	if m.op == nil || m.op.kind != opRejoin {
+		return
+	}
+	var d wire.RejoinDenied
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &d); err != nil {
+		return
+	}
+	m.rejoinBlacklist[m.op.acID] = m.clk.Now()
+	m.failOp(fmt.Errorf("%w: %s", ErrDenied, d.Reason))
+}
+
+// attach installs area state after a successful join or rejoin.
+func (m *Member) attach(acID, acAddr string, acPub crypt.PublicKey, areaID string,
+	path []keytree.PathKey, epoch uint64, ticketBlob []byte, backupAddr string, backupPubDER []byte) {
+
+	m.connected = true
+	m.acID = acID
+	m.acAddr = acAddr
+	m.acPub = acPub
+	m.areaID = areaID
+	m.view = keytree.NewMemberView(path, epoch, keytree.SealingEncryptor{})
+	if len(ticketBlob) > 0 {
+		m.ticketBlob = ticketBlob
+	}
+	m.backupAddr = backupAddr
+	m.backupPub = crypt.PublicKey{}
+	if len(backupPubDER) > 0 {
+		if pub, err := crypt.ParsePublicKey(backupPubDER); err == nil {
+			m.backupPub = pub
+		}
+	}
+	now := m.clk.Now()
+	m.lastACRecv = now
+	m.lastSent = now
+	m.cfg.Logf("%s: attached to area %s via %s (epoch %d)", m.cfg.ID, m.areaID, acID, epoch)
+}
+
+// detach marks the member disconnected. The area view, ticket, and backup
+// identity are retained: a signed §IV-C failover announcement can still
+// re-attach us, and the ticket drives rejoins. A successful join/rejoin
+// replaces all of it.
+func (m *Member) detach() {
+	m.connected = false
+	m.acAddr = ""
+	m.acPub = crypt.PublicKey{}
+}
+
+// completeOp resolves the pending operation successfully.
+func (m *Member) completeOp(err error) {
+	if m.op == nil {
+		return
+	}
+	m.op.errc <- err
+	m.op = nil
+}
+
+// failOp resolves the pending operation with an error.
+func (m *Member) failOp(err error) {
+	if m.op == nil {
+		return
+	}
+	m.op.errc <- err
+	m.op = nil
+}
+
+// sendSealed seals a body to a recipient and transmits it.
+func (m *Member) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body any) {
+	blob, err := wire.SealBody(to, body)
+	if err != nil {
+		m.cfg.Logf("%s: sealing %v: %v", m.cfg.ID, kind, err)
+		return
+	}
+	if err := m.cfg.Transport.Send(addr, &wire.Frame{
+		Kind: kind,
+		From: m.cfg.Transport.Addr(),
+		Body: blob,
+	}); err != nil {
+		m.cfg.Logf("%s: sending %v to %s: %v", m.cfg.ID, kind, addr, err)
+	}
+	m.lastSent = m.clk.Now()
+}
+
+// sendPlain transmits an unencrypted body.
+func (m *Member) sendPlain(addr string, kind wire.Kind, body any) {
+	blob, err := wire.PlainBody(body)
+	if err != nil {
+		return
+	}
+	if err := m.cfg.Transport.Send(addr, &wire.Frame{
+		Kind: kind,
+		From: m.cfg.Transport.Addr(),
+		Body: blob,
+	}); err != nil {
+		m.cfg.Logf("%s: sending %v to %s: %v", m.cfg.ID, kind, addr, err)
+	}
+	m.lastSent = m.clk.Now()
+}

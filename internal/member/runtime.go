@@ -1,0 +1,263 @@
+package member
+
+import (
+	"errors"
+	"time"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+	"mykil/internal/wire"
+)
+
+// handleFrame dispatches one incoming frame (loop context).
+func (m *Member) handleFrame(f *wire.Frame) {
+	if m.connected && f.From == m.acAddr {
+		m.lastACRecv = m.clk.Now()
+	}
+	switch f.Kind {
+	case wire.KindJoinChallenge:
+		m.handleJoinChallenge(f)
+	case wire.KindJoinGrant:
+		m.handleJoinGrant(f)
+	case wire.KindJoinWelcome:
+		m.handleJoinWelcome(f)
+	case wire.KindJoinDenied:
+		m.handleJoinDenied(f)
+	case wire.KindRejoinChallenge:
+		m.handleRejoinChallenge(f)
+	case wire.KindRejoinWelcome:
+		m.handleRejoinWelcome(f)
+	case wire.KindRejoinDenied:
+		m.handleRejoinDenied(f)
+	case wire.KindData:
+		m.handleData(f)
+	case wire.KindKeyUpdate:
+		m.handleKeyUpdate(f)
+	case wire.KindPathUpdate:
+		m.handlePathUpdate(f)
+	case wire.KindACAlive:
+		m.handleACAlive(f)
+	case wire.KindACFailover:
+		m.handleFailover(f)
+	default:
+		m.cfg.Logf("%s: ignoring frame kind %v from %s", m.cfg.ID, f.Kind, f.From)
+	}
+}
+
+// handleData decrypts one multicast payload (Fig. 2 receive side).
+func (m *Member) handleData(f *wire.Frame) {
+	if !m.connected {
+		return
+	}
+	var d wire.Data
+	if err := wire.DecodePlain(f.Body, &d); err != nil {
+		return
+	}
+	if d.Origin == m.cfg.ID {
+		return // our own packet relayed back
+	}
+	if d.FromArea != m.areaID {
+		return // sealed for a different area's key
+	}
+	raw, err := crypt.Open(m.view.AreaKey(), d.EncKey)
+	if err != nil {
+		m.cfg.Logf("%s: cannot open data key (stale area key?): %v", m.cfg.ID, err)
+		m.requestPath()
+		return
+	}
+	dataKey, err := crypt.SymKeyFromBytes(raw)
+	if err != nil {
+		return
+	}
+	var payload []byte
+	switch d.Cipher {
+	case wire.CipherRC4:
+		payload = crypt.RC4XOR(dataKey, append([]byte(nil), d.Payload...))
+	default:
+		payload, err = crypt.Open(dataKey, d.Payload)
+		if err != nil {
+			return
+		}
+	}
+	m.received++
+	if m.cfg.OnData != nil {
+		m.cfg.OnData(payload, d.Origin)
+	}
+}
+
+// handleKeyUpdate applies a signed rekey multicast (§III).
+func (m *Member) handleKeyUpdate(f *wire.Frame) {
+	if !m.connected || f.From != m.acAddr {
+		return
+	}
+	// §III-E: key update messages are signed by the area controller.
+	if err := m.acPub.Verify(f.Body, f.Sig); err != nil {
+		m.cfg.Logf("%s: key update with bad signature dropped", m.cfg.ID)
+		return
+	}
+	var u wire.KeyUpdate
+	if err := wire.DecodePlain(f.Body, &u); err != nil {
+		return
+	}
+	if u.AreaID != m.areaID {
+		return
+	}
+	_, err := m.view.Apply(&keytree.KeyUpdate{Epoch: u.Epoch, Entries: u.Entries})
+	switch {
+	case err == nil:
+		m.rekeys++
+	case errors.Is(err, keytree.ErrEpochGap):
+		// A rekey was lost (e.g. transient partition): recover the path.
+		m.cfg.Logf("%s: missed rekey (at %d, got %d); requesting path", m.cfg.ID, m.view.Epoch(), u.Epoch)
+		m.requestPath()
+	case errors.Is(err, keytree.ErrStale):
+		// Duplicate delivery; ignore.
+	default:
+		m.cfg.Logf("%s: applying key update: %v", m.cfg.ID, err)
+	}
+}
+
+// handlePathUpdate rebases the member's path keys (displacement or
+// recovery).
+func (m *Member) handlePathUpdate(f *wire.Frame) {
+	if !m.connected || f.From != m.acAddr {
+		return
+	}
+	if err := m.acPub.Verify(f.Body, f.Sig); err != nil {
+		m.cfg.Logf("%s: path update with bad signature dropped", m.cfg.ID)
+		return
+	}
+	var pu wire.PathUpdate
+	if err := wire.OpenBody(m.cfg.Keys, f.Body, &pu); err != nil {
+		return
+	}
+	if pu.AreaID != m.areaID {
+		return
+	}
+	m.view.Rebase(pu.Path, pu.Epoch)
+	m.rekeys++
+}
+
+// handleFailover switches to the backup controller after verifying its
+// signature against the backup key learned at join (§IV-C). A member that
+// already declared disconnection (the timeouts race) re-attaches: its view
+// is still valid because the backup restored the same tree.
+func (m *Member) handleFailover(f *wire.Frame) {
+	if m.backupPub.IsZero() || m.view == nil || m.areaID == "" {
+		return
+	}
+	if err := m.backupPub.Verify(f.Body, f.Sig); err != nil {
+		m.cfg.Logf("%s: failover announcement with bad signature dropped", m.cfg.ID)
+		return
+	}
+	var fo wire.ACFailover
+	if err := wire.DecodePlain(f.Body, &fo); err != nil {
+		return
+	}
+	if fo.AreaID != m.areaID {
+		return
+	}
+	m.connected = true
+	m.acAddr = fo.NewAddr
+	m.acPub = m.backupPub
+	m.acID = m.acID + "+backup"
+	m.lastACRecv = m.clk.Now()
+	m.cfg.Logf("%s: controller failover; now served by %s", m.cfg.ID, fo.NewAddr)
+	if fo.Epoch > m.view.Epoch() {
+		m.requestPath()
+	}
+}
+
+// handleACAlive records controller liveness and, via the epoch the alive
+// message carries, detects rekeys missed while partitioned (§IV-A).
+func (m *Member) handleACAlive(f *wire.Frame) {
+	if !m.connected || f.From != m.acAddr {
+		return
+	}
+	var alive wire.ACAlive
+	if err := wire.DecodePlain(f.Body, &alive); err != nil {
+		return
+	}
+	if alive.AreaID == m.areaID && alive.Epoch > m.view.Epoch() {
+		m.cfg.Logf("%s: alive message shows epoch %d ahead of ours (%d); requesting path",
+			m.cfg.ID, alive.Epoch, m.view.Epoch())
+		m.requestPath()
+	}
+}
+
+// requestPath asks the controller to resend our path keys.
+func (m *Member) requestPath() {
+	if !m.connected {
+		return
+	}
+	m.sendPlain(m.acAddr, wire.KindPathRequest, wire.PathRequest{
+		MemberID: m.cfg.ID,
+		Epoch:    m.view.Epoch(),
+	})
+}
+
+// housekeeping runs the member's periodic duties (loop context).
+func (m *Member) housekeeping() {
+	now := m.clk.Now()
+
+	// Fail a timed-out blocking operation.
+	if m.op != nil && now.After(m.op.deadline) {
+		m.failOp(ErrTimeout)
+	}
+
+	if !m.connected {
+		// Disconnected with auto-rejoin on: keep trying — the §IV-B
+		// machinery must survive candidate controllers that are
+		// themselves unreachable.
+		if m.cfg.AutoRejoin && m.op == nil && len(m.ticketBlob) > 0 &&
+			now.Sub(m.lastRejoinTry) >= silenceFactor*m.cfg.TIdle {
+			m.lastRejoinTry = now
+			m.autoRejoin(m.lastFailedAC, now)
+		}
+		return
+	}
+
+	// §IV-A: tell the controller we are alive if we have been quiet.
+	if now.Sub(m.lastSent) >= m.cfg.TActive {
+		m.sendPlain(m.acAddr, wire.KindMemberAlive, wire.MemberAlive{MemberID: m.cfg.ID})
+	}
+
+	// §IV-A: declare disconnection after 5×T_idle of controller silence.
+	if now.Sub(m.lastACRecv) > silenceFactor*m.cfg.TIdle {
+		m.cfg.Logf("%s: controller %s silent for %v; disconnected",
+			m.cfg.ID, m.acID, now.Sub(m.lastACRecv))
+		m.lastFailedAC = m.acID
+		m.detach()
+		if m.cfg.AutoRejoin && m.op == nil {
+			m.lastRejoinTry = now
+			m.autoRejoin(m.lastFailedAC, now)
+		}
+	}
+}
+
+// autoRejoin picks the next directory controller in rotation — skipping
+// the one we just lost and any that recently denied us — and starts a
+// rejoin toward it.
+func (m *Member) autoRejoin(failedAC string, now time.Time) {
+	const blacklistFor = time.Minute
+	n := len(m.directory)
+	for i := 0; i < n; i++ {
+		e := m.directory[(m.rejoinRotation+i)%n]
+		if e.ID == failedAC && n > 1 {
+			continue
+		}
+		if until, ok := m.rejoinBlacklist[e.ID]; ok && now.Sub(until) < blacklistFor {
+			continue
+		}
+		m.rejoinRotation = (m.rejoinRotation + i + 1) % n
+		errc := make(chan error, 1)
+		m.startRejoin(e.ID, errc)
+		go func(ac string) {
+			if err := <-errc; err != nil {
+				m.cfg.Logf("%s: auto-rejoin to %s failed: %v", m.cfg.ID, ac, err)
+			}
+		}(e.ID)
+		return
+	}
+	m.cfg.Logf("%s: no rejoin candidate available", m.cfg.ID)
+}

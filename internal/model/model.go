@@ -1,0 +1,175 @@
+// Package model encodes the closed-form cost arithmetic of the paper's
+// §V analysis: tree depths, per-event rekey bytes, per-member storage,
+// and aggregate CPU cost for Mykil, LKH, and Iolus. The experiment
+// harness measures the real data structures; this package predicts them,
+// and the tests in model_test.go pin the two against each other — the
+// same cross-check the paper performs informally between its formulas
+// and its prototype.
+package model
+
+import (
+	"mykil/internal/crypt"
+)
+
+// KeyLen is the symmetric key length the paper's byte counts use.
+const KeyLen = crypt.SymKeyLen
+
+// TreeDepth returns the depth of a balanced arity-ary tree with n leaves
+// (root depth 0): ceil(log_arity n), computed in integers — floating
+// point rounds log(a^k)/log(a) past the integer boundary for some bases.
+func TreeDepth(n, arity int) int {
+	d, leaves := 0, 1
+	for leaves < n {
+		leaves *= arity
+		d++
+	}
+	return d
+}
+
+// TreeNodes returns the node count of the balanced tree our engine
+// builds over n leaves: n leaves plus the internal nodes of an evenly
+// divided arity-ary hierarchy, approximately n·arity/(arity-1). The
+// exact count is computed recursively, mirroring keytree.fillBalanced.
+func TreeNodes(n, arity int) int {
+	if n <= 1 {
+		return 1
+	}
+	parts := arity
+	if n < parts {
+		parts = n
+	}
+	total := 1
+	base, rem := n/parts, n%parts
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		total += TreeNodes(size, arity)
+	}
+	return total
+}
+
+// MemberKeys returns how many symmetric keys one member stores: one per
+// path level (depth+1). §V-A's "11 keys" for a 5,000-member area rounds
+// the binary depth down; this returns the exact balanced-tree value.
+func MemberKeys(n, arity int) int { return TreeDepth(n, arity) + 1 }
+
+// LeaveEntries returns the number of encrypted keys in a single-leave
+// rekey multicast: each of the d changed ancestors re-encrypts under all
+// its children, minus the vacated leaf, which no current member holds.
+// The paper's formula (2·d for binary trees) keeps the vacated leaf;
+// ours is arity·d − 1.
+func LeaveEntries(n, arity int) int {
+	d := TreeDepth(n, arity)
+	if d == 0 {
+		return 0
+	}
+	return arity*d - 1
+}
+
+// LeaveBytes returns the §V-C leave rekey size in bytes.
+func LeaveBytes(n, arity int) int { return LeaveEntries(n, arity) * KeyLen }
+
+// PaperLKHLeaveBytes is the paper's own figure-8 formula: 2 keys per
+// level of a binary tree, vacated leaf included (2·d·16).
+func PaperLKHLeaveBytes(n int) int { return 2 * TreeDepth(n, 2) * KeyLen }
+
+// JoinEntries returns the number of encrypted keys multicast on a join:
+// one self-encrypted entry per changed ancestor (the new leaf itself is
+// unicast).
+func JoinEntries(n, arity int) int { return TreeDepth(n, arity) }
+
+// JoinBytes returns the join rekey multicast size.
+func JoinBytes(n, arity int) int { return JoinEntries(n, arity) * KeyLen }
+
+// IolusLeaveBytes returns Iolus's leave cost for a subgroup of m members:
+// the new subgroup key unicast to each remaining member (§V-C: "about
+// 80,000 bytes" for 5,000 members).
+func IolusLeaveBytes(m int) int { return (m - 1) * KeyLen }
+
+// IolusJoinBytes returns Iolus's join multicast cost: one encrypted key.
+func IolusJoinBytes() int { return KeyLen }
+
+// MykilLeaveBytes returns Mykil's leave cost with the group split into
+// `areas` areas: a leave rekeys only the member's own area tree.
+func MykilLeaveBytes(n, areas, arity int) int {
+	return LeaveBytes(n/areas, arity)
+}
+
+// LKHLeaveCPU returns the total key updates across all members for one
+// leave in a full-group LKH tree: members whose path diverges from the
+// leaver's k levels below the root update exactly k keys. The buckets
+// follow the leaver's subtree chain through the evenly divided tree the
+// engine builds — the leftmost child of an n-member node holds
+// ceil(n/parts) members.
+func LKHLeaveCPU(n, arity int) int {
+	total, k := 0, 1
+	population := n
+	for population > 1 {
+		parts := arity
+		if population < parts {
+			parts = population
+		}
+		leaverSide := population / parts
+		if population%parts > 0 {
+			leaverSide++
+		}
+		total += k * (population - leaverSide)
+		population = leaverSide
+		k++
+	}
+	return total
+}
+
+// MykilLeaveCPU confines the LKH computation to one area.
+func MykilLeaveCPU(n, areas, arity int) int { return LKHLeaveCPU(n/areas, arity) }
+
+// IolusLeaveCPU is one key update per remaining subgroup member.
+func IolusLeaveCPU(m int) int { return m - 1 }
+
+// BatchedLeaveEntriesBestCase returns the rekey entries when k leavers
+// occupy one subtree of a balanced arity-ary tree with n leaves: the
+// shared ancestors are updated once. With the k leavers filling whole
+// sibling sets, the changed set is the cohort subtree's ancestor path
+// plus the cohort-internal nodes; entry count is dominated by
+// arity·(d − log_arity k) for the shared path.
+func BatchedLeaveEntriesBestCase(n, k, arity int) int {
+	d := TreeDepth(n, arity)
+	kd := TreeDepth(k, arity)
+	if d <= kd {
+		return arity*d - 1
+	}
+	// Shared path above the cohort: (d-kd) levels, arity entries each,
+	// minus the one vacated branch at the cohort root; inside the cohort
+	// every node is vacated (no entries).
+	return arity*(d-kd) - 1
+}
+
+// BatchSavingsPct returns the §III-E message savings for flushing b
+// events at once instead of rekeying per event: 1 − 1/b.
+func BatchSavingsPct(eventsPerFlush int) float64 {
+	if eventsPerFlush <= 0 {
+		return 0
+	}
+	return 100 * (1 - 1/float64(eventsPerFlush))
+}
+
+// StorageMemberBytes returns §V-A member symmetric-key storage for the
+// three protocols.
+func StorageMemberBytes(n, areas, arity int) (iolus, lkh, mykil int) {
+	iolus = 2 * KeyLen
+	lkh = MemberKeys(n, arity) * KeyLen
+	mykil = MemberKeys(n/areas, arity) * KeyLen
+	return iolus, lkh, mykil
+}
+
+// StorageControllerBytes returns §V-A controller storage for the three
+// protocols.
+func StorageControllerBytes(n, areas, arity int) (iolus, lkh, mykil int) {
+	m := n / areas
+	iolus = (m + 1) * KeyLen
+	lkh = TreeNodes(n, arity) * KeyLen
+	mykil = TreeNodes(m, arity) * KeyLen
+	return iolus, lkh, mykil
+}

@@ -1,0 +1,201 @@
+package model_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mykil/internal/bench"
+	"mykil/internal/keytree"
+	"mykil/internal/model"
+)
+
+func TestTreeDepth(t *testing.T) {
+	cases := []struct{ n, arity, want int }{
+		{1, 2, 0},
+		{2, 2, 1},
+		{4, 2, 2},
+		{5, 2, 3},
+		{1024, 2, 10},
+		{100000, 2, 17},
+		{5000, 2, 13},
+		{64, 4, 3},
+		{100000, 4, 9},
+		{5000, 4, 7},
+	}
+	for _, tc := range cases {
+		if got := model.TreeDepth(tc.n, tc.arity); got != tc.want {
+			t.Errorf("model.TreeDepth(%d, %d) = %d, want %d", tc.n, tc.arity, got, tc.want)
+		}
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	// §V-A/§V-C headline numbers, from the closed forms alone.
+	if got := model.PaperLKHLeaveBytes(100000); got != 544 {
+		t.Errorf("paper LKH leave bytes = %d, want 544 (2*17*16)", got)
+	}
+	if got := model.IolusLeaveBytes(5000); got != 79984 {
+		t.Errorf("Iolus leave bytes = %d, want ~80000", got)
+	}
+	if got := model.IolusLeaveBytes(100000); got != 1599984 {
+		t.Errorf("Iolus 1-area leave bytes = %d, want ~1.6MB", got)
+	}
+	iolus, lkh, mykil := model.StorageMemberBytes(100000, 20, 2)
+	if iolus != 32 {
+		t.Errorf("Iolus member storage = %d, want 32", iolus)
+	}
+	if lkh != 288 { // paper says 272 with its rounded depth
+		t.Errorf("LKH member storage = %d, want 288", lkh)
+	}
+	if mykil != 224 { // paper says 176 with its rounded depth
+		t.Errorf("Mykil member storage = %d, want 224", mykil)
+	}
+	if got := model.BatchSavingsPct(2); got != 50 {
+		t.Errorf("model.BatchSavingsPct(2) = %v", got)
+	}
+}
+
+// buildTree mirrors the bench harness: balanced accounting tree.
+func buildTree(t *testing.T, n, arity int) *keytree.Tree {
+	t.Helper()
+	tr := keytree.New(keytree.Config{
+		Arity:     arity,
+		Encryptor: keytree.AccountingEncryptor{},
+		KeyGen:    bench.FastKeyGen(1),
+	})
+	ms := make([]keytree.MemberID, n)
+	for i := range ms {
+		ms[i] = keytree.MemberID(fmt.Sprintf("m%d", i))
+	}
+	if err := tr.Preload(ms); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestModelMatchesRealTreeDepth(t *testing.T) {
+	for _, tc := range []struct{ n, arity int }{
+		{100, 2}, {5000, 2}, {100000, 2}, {100, 4}, {5000, 4}, {4096, 4},
+	} {
+		tr := buildTree(t, tc.n, tc.arity)
+		if got, want := tr.Depth(), model.TreeDepth(tc.n, tc.arity); got != want {
+			t.Errorf("n=%d arity=%d: real depth %d, model %d", tc.n, tc.arity, got, want)
+		}
+		if got, want := tr.NumNodes(), model.TreeNodes(tc.n, tc.arity); got != want {
+			t.Errorf("n=%d arity=%d: real nodes %d, model %d", tc.n, tc.arity, got, want)
+		}
+	}
+}
+
+func TestModelMatchesRealLeaveBytes(t *testing.T) {
+	// The model predicts the leave rekey size for the deepest member of
+	// a balanced tree; members at exactly depth d match it.
+	for _, tc := range []struct{ n, arity int }{
+		{1024, 2}, {5000, 2}, {100000, 2}, {4096, 4},
+	} {
+		tr := buildTree(t, tc.n, tc.arity)
+		res, err := tr.Leave("m0") // leftmost member sits at max depth
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Update.PaperBytes(), model.LeaveBytes(tc.n, tc.arity); got != want {
+			t.Errorf("n=%d arity=%d: real leave bytes %d, model %d", tc.n, tc.arity, got, want)
+		}
+	}
+}
+
+func TestModelMatchesRealJoinBytes(t *testing.T) {
+	for _, tc := range []struct{ n, arity int }{
+		{1024, 2}, {4096, 4},
+	} {
+		tr := buildTree(t, tc.n, tc.arity)
+		// Vacate one leaf so the join reuses it at max depth.
+		if _, err := tr.Leave("m0"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Join("fresh")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := res.Update.PaperBytes(), model.JoinBytes(tc.n, tc.arity); got != want {
+			t.Errorf("n=%d arity=%d: real join bytes %d, model %d", tc.n, tc.arity, got, want)
+		}
+	}
+}
+
+func TestModelMatchesRealCPUTotal(t *testing.T) {
+	for _, tc := range []struct{ n, arity int }{
+		{1024, 2}, {4096, 2}, {4096, 4},
+	} {
+		tr := buildTree(t, tc.n, tc.arity)
+		res, err := tr.Leave("m0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := keytree.UpdateCountsPerMember(tr, res.Update)
+		total := 0
+		for k, c := range counts {
+			total += k * c
+		}
+		if want := model.LKHLeaveCPU(tc.n, tc.arity); total != want {
+			t.Errorf("n=%d arity=%d: real CPU total %d, model %d", tc.n, tc.arity, total, want)
+		}
+	}
+}
+
+func TestModelMatchesBenchRows(t *testing.T) {
+	rows, err := bench.LeaveBandwidth(8192, []int{1, 2, 4, 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.IolusBytes != model.IolusLeaveBytes(row.AreaSize) {
+			t.Errorf("areas=%d: Iolus measured %d, model %d",
+				row.Areas, row.IolusBytes, model.IolusLeaveBytes(row.AreaSize))
+		}
+		if row.MykilBytes != model.MykilLeaveBytes(8192, row.Areas, 2) {
+			t.Errorf("areas=%d: Mykil measured %d, model %d",
+				row.Areas, row.MykilBytes, model.MykilLeaveBytes(8192, row.Areas, 2))
+		}
+	}
+}
+
+func TestBestCaseAggregationModel(t *testing.T) {
+	// A cohort of arity^j siblings leaving a complete tree produces the
+	// predicted shared-path entry count.
+	tr := buildTree(t, 4096, 2)
+	cohort, err := tr.CohortOf("m0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.BatchLeave(cohort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Update.NumKeys(), model.BatchedLeaveEntriesBestCase(4096, 8, 2); got != want {
+		t.Errorf("best-case batch entries = %d, model %d", got, want)
+	}
+}
+
+func TestDepthMonotonicProperty(t *testing.T) {
+	f := func(nRaw, arityRaw uint8) bool {
+		n := int(nRaw)%2000 + 1
+		arity := int(arityRaw)%7 + 2
+		d := model.TreeDepth(n, arity)
+		// Depth bounds: arity^d >= n > arity^(d-1).
+		if math.Pow(float64(arity), float64(d)) < float64(n) {
+			return false
+		}
+		if d > 0 && math.Pow(float64(arity), float64(d-1)) >= float64(n) {
+			return false
+		}
+		// More members never shrink the model costs.
+		return model.LeaveBytes(2*n, arity) >= model.LeaveBytes(n, arity) &&
+			model.MemberKeys(2*n, arity) >= model.MemberKeys(n, arity)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,364 @@
+package regserver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mykil/internal/clock"
+	"mykil/internal/crypt"
+	"mykil/internal/simnet"
+	"mykil/internal/transport"
+	"mykil/internal/wire"
+)
+
+var (
+	testPoolOnce sync.Once
+	testPool     *crypt.Pool
+)
+
+func keyPair(t *testing.T) *crypt.KeyPair {
+	t.Helper()
+	testPoolOnce.Do(func() {
+		testPool = crypt.NewPool(512)
+		if err := testPool.Warm(8); err != nil {
+			t.Fatalf("warming pool: %v", err)
+		}
+	})
+	kp, err := testPool.Get()
+	if err != nil {
+		t.Fatalf("key pair: %v", err)
+	}
+	return kp
+}
+
+// rig wires a registration server, a fake area controller endpoint, and a
+// fake client endpoint on one simnet.
+type rig struct {
+	t         *testing.T
+	net       *simnet.Network
+	srv       *Server
+	rsKeys    *crypt.KeyPair
+	acKeys    *crypt.KeyPair
+	client    transport.Transport
+	clientKP  *crypt.KeyPair
+	ac        transport.Transport
+	rsAddr    string
+	transport []transport.Transport
+}
+
+func newRig(t *testing.T, clk clock.Clock) *rig {
+	t.Helper()
+	r := &rig{t: t, net: simnet.New(simnet.Config{})}
+	r.rsKeys = keyPair(t)
+	r.acKeys = keyPair(t)
+	r.clientKP = keyPair(t)
+
+	rsTr, err := transport.NewSim(r.net, "rs")
+	if err != nil {
+		t.Fatalf("rs transport: %v", err)
+	}
+	r.rsAddr = "rs"
+	r.ac, err = transport.NewSim(r.net, "ac-0")
+	if err != nil {
+		t.Fatalf("ac transport: %v", err)
+	}
+	r.client, err = transport.NewSim(r.net, "client")
+	if err != nil {
+		t.Fatalf("client transport: %v", err)
+	}
+	r.transport = []transport.Transport{rsTr, r.ac, r.client}
+
+	srv, err := New(Config{
+		Transport: rsTr,
+		Keys:      r.rsKeys,
+		Clock:     clk,
+		Auth:      StaticAuthorizer{"good": time.Hour},
+		Controllers: []wire.ACInfo{{
+			ID:     "ac-0",
+			Addr:   "ac-0",
+			PubDER: r.acKeys.Public().Marshal(),
+		}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r.srv = srv
+	srv.Start()
+	t.Cleanup(func() {
+		srv.Close()
+		for _, tr := range r.transport {
+			_ = tr.Close()
+		}
+		r.net.Close()
+	})
+	return r
+}
+
+// sendSealed seals and sends a body from the client to the RS.
+func (r *rig) sendSealed(from transport.Transport, kind wire.Kind, body any) {
+	r.t.Helper()
+	blob, err := wire.SealBody(r.rsKeys.Public(), body)
+	if err != nil {
+		r.t.Fatalf("SealBody: %v", err)
+	}
+	if err := from.Send(r.rsAddr, &wire.Frame{Kind: kind, From: from.Addr(), Body: blob}); err != nil {
+		r.t.Fatalf("Send: %v", err)
+	}
+}
+
+// recv waits for one frame.
+func recv(t *testing.T, tr transport.Transport) *wire.Frame {
+	t.Helper()
+	select {
+	case f := <-tr.Recv():
+		return f
+	case <-time.After(5 * time.Second):
+		t.Fatal("no frame within timeout")
+		return nil
+	}
+}
+
+func expectSilence(t *testing.T, tr transport.Transport) {
+	t.Helper()
+	select {
+	case f := <-tr.Recv():
+		t.Fatalf("unexpected frame %v", f.Kind)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	kp := keyPair(t)
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	tr, err := transport.NewSim(n, "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	if _, err := New(Config{Transport: tr, Keys: kp, Auth: StaticAuthorizer{}}); err == nil {
+		t.Error("config without controllers accepted")
+	}
+}
+
+func TestFullHandshake(t *testing.T) {
+	r := newRig(t, clock.Real{})
+	nonceCW := crypt.Nonce()
+	r.sendSealed(r.client, wire.KindJoinRequest, wire.JoinRequest{
+		AuthInfo:   "good",
+		ClientID:   "c1",
+		ClientAddr: "client",
+		ClientPub:  r.clientKP.Public().Marshal(),
+		NonceCW:    nonceCW,
+	})
+
+	// Step 2 arrives sealed to the client.
+	f := recv(t, r.client)
+	if f.Kind != wire.KindJoinChallenge {
+		t.Fatalf("got %v, want JoinChallenge", f.Kind)
+	}
+	var ch wire.JoinChallenge
+	if err := wire.OpenBody(r.clientKP, f.Body, &ch); err != nil {
+		t.Fatalf("OpenBody: %v", err)
+	}
+	if ch.NonceCWPlus1 != nonceCW+1 {
+		t.Fatalf("NonceCW echo wrong: %d", ch.NonceCWPlus1)
+	}
+
+	// Step 3.
+	r.sendSealed(r.client, wire.KindJoinResponse, wire.JoinResponse{
+		ClientID:     "c1",
+		NonceWCPlus1: ch.NonceWC + 1,
+	})
+
+	// Step 4 reaches the AC, signed by the RS.
+	f4 := recv(t, r.ac)
+	if f4.Kind != wire.KindJoinRefer {
+		t.Fatalf("AC got %v, want JoinRefer", f4.Kind)
+	}
+	if err := r.rsKeys.Public().Verify(f4.Body, f4.Sig); err != nil {
+		t.Fatalf("referral signature invalid: %v", err)
+	}
+	var refer wire.JoinRefer
+	if err := wire.OpenBody(r.acKeys, f4.Body, &refer); err != nil {
+		t.Fatalf("referral body: %v", err)
+	}
+	if refer.ClientID != "c1" || refer.Duration != time.Hour {
+		t.Errorf("referral = %+v", refer)
+	}
+
+	// Step 5 reaches the client with the directory, signed by the RS.
+	f5 := recv(t, r.client)
+	if f5.Kind != wire.KindJoinGrant {
+		t.Fatalf("client got %v, want JoinGrant", f5.Kind)
+	}
+	if err := r.rsKeys.Public().Verify(f5.Body, f5.Sig); err != nil {
+		t.Fatalf("grant signature invalid: %v", err)
+	}
+	var grant wire.JoinGrant
+	if err := wire.OpenBody(r.clientKP, f5.Body, &grant); err != nil {
+		t.Fatalf("grant body: %v", err)
+	}
+	if grant.AC.ID != "ac-0" || len(grant.Directory) != 1 {
+		t.Errorf("grant = %+v", grant)
+	}
+	if grant.NonceACPlus1 != refer.NonceAC+1 {
+		t.Error("grant/referral nonce mismatch")
+	}
+	if r.srv.Joins() != 1 {
+		t.Errorf("Joins = %d", r.srv.Joins())
+	}
+}
+
+func TestBadAuthDenied(t *testing.T) {
+	r := newRig(t, clock.Real{})
+	r.sendSealed(r.client, wire.KindJoinRequest, wire.JoinRequest{
+		AuthInfo:   "stolen-card",
+		ClientID:   "c1",
+		ClientAddr: "client",
+		ClientPub:  r.clientKP.Public().Marshal(),
+		NonceCW:    1,
+	})
+	f := recv(t, r.client)
+	if f.Kind != wire.KindJoinDenied {
+		t.Fatalf("got %v, want JoinDenied", f.Kind)
+	}
+	var d wire.JoinDenied
+	if err := wire.OpenBody(r.clientKP, f.Body, &d); err != nil {
+		t.Fatalf("OpenBody: %v", err)
+	}
+	expectSilence(t, r.ac)
+}
+
+func TestWrongChallengeResponseDenied(t *testing.T) {
+	r := newRig(t, clock.Real{})
+	r.sendSealed(r.client, wire.KindJoinRequest, wire.JoinRequest{
+		AuthInfo: "good", ClientID: "c1", ClientAddr: "client",
+		ClientPub: r.clientKP.Public().Marshal(), NonceCW: 5,
+	})
+	f := recv(t, r.client)
+	var ch wire.JoinChallenge
+	if err := wire.OpenBody(r.clientKP, f.Body, &ch); err != nil {
+		t.Fatalf("OpenBody: %v", err)
+	}
+	r.sendSealed(r.client, wire.KindJoinResponse, wire.JoinResponse{
+		ClientID:     "c1",
+		NonceWCPlus1: ch.NonceWC + 2, // wrong
+	})
+	f = recv(t, r.client)
+	if f.Kind != wire.KindJoinDenied {
+		t.Fatalf("got %v, want JoinDenied", f.Kind)
+	}
+	expectSilence(t, r.ac)
+	if r.srv.Joins() != 0 {
+		t.Error("failed challenge still counted as join")
+	}
+}
+
+func TestUnknownSessionIgnored(t *testing.T) {
+	r := newRig(t, clock.Real{})
+	r.sendSealed(r.client, wire.KindJoinResponse, wire.JoinResponse{
+		ClientID: "never-seen", NonceWCPlus1: 9,
+	})
+	expectSilence(t, r.client)
+	expectSilence(t, r.ac)
+}
+
+func TestGarbageBodyIgnored(t *testing.T) {
+	r := newRig(t, clock.Real{})
+	if err := r.client.Send("rs", &wire.Frame{
+		Kind: wire.KindJoinRequest, From: "client", Body: []byte("garbage"),
+	}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	expectSilence(t, r.client)
+}
+
+func TestUnexpectedKindIgnored(t *testing.T) {
+	r := newRig(t, clock.Real{})
+	body, err := wire.PlainBody(wire.MemberAlive{MemberID: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.Send("rs", &wire.Frame{Kind: wire.KindMemberAlive, From: "client", Body: body}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	expectSilence(t, r.client)
+}
+
+func TestSessionExpiry(t *testing.T) {
+	fake := clock.NewFake(time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC))
+	r := newRig(t, fake)
+	r.sendSealed(r.client, wire.KindJoinRequest, wire.JoinRequest{
+		AuthInfo: "good", ClientID: "c1", ClientAddr: "client",
+		ClientPub: r.clientKP.Public().Marshal(), NonceCW: 5,
+	})
+	f := recv(t, r.client)
+	var ch wire.JoinChallenge
+	if err := wire.OpenBody(r.clientKP, f.Body, &ch); err != nil {
+		t.Fatalf("OpenBody: %v", err)
+	}
+
+	// Age the session past the TTL; a new request triggers pruning.
+	fake.Advance(2 * time.Minute)
+	r.sendSealed(r.client, wire.KindJoinRequest, wire.JoinRequest{
+		AuthInfo: "good", ClientID: "c2", ClientAddr: "client",
+		ClientPub: r.clientKP.Public().Marshal(), NonceCW: 6,
+	})
+	recv(t, r.client) // c2's challenge
+
+	// The stale c1 session must be gone: its step 3 is ignored.
+	r.sendSealed(r.client, wire.KindJoinResponse, wire.JoinResponse{
+		ClientID: "c1", NonceWCPlus1: ch.NonceWC + 1,
+	})
+	expectSilence(t, r.client)
+	expectSilence(t, r.ac)
+}
+
+func TestRoundRobinPicker(t *testing.T) {
+	p := &RoundRobinPicker{}
+	ctrls := []wire.ACInfo{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	want := []string{"a", "b", "c", "a", "b"}
+	for i, w := range want {
+		if got := p.Pick("x", ctrls).ID; got != w {
+			t.Errorf("pick %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestStaticPicker(t *testing.T) {
+	ctrls := []wire.ACInfo{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	p := &StaticPicker{Assign: map[string]string{"near-b": "b", "gone": "zz"}}
+	if got := p.Pick("near-b", ctrls).ID; got != "b" {
+		t.Errorf("mapped pick = %s, want b", got)
+	}
+	// Unmapped and unresolvable both fall back to the first controller.
+	if got := p.Pick("unknown", ctrls).ID; got != "a" {
+		t.Errorf("fallback pick = %s, want a", got)
+	}
+	if got := p.Pick("gone", ctrls).ID; got != "a" {
+		t.Errorf("unresolvable pick = %s, want a", got)
+	}
+	p.Fallback = &RoundRobinPicker{}
+	if got := p.Pick("unknown", ctrls).ID; got != "a" {
+		t.Errorf("rr fallback first pick = %s, want a", got)
+	}
+	if got := p.Pick("unknown", ctrls).ID; got != "b" {
+		t.Errorf("rr fallback second pick = %s, want b", got)
+	}
+}
+
+func TestStaticAuthorizer(t *testing.T) {
+	a := StaticAuthorizer{"ok": 2 * time.Hour}
+	d, err := a.Authorize("ok")
+	if err != nil || d != 2*time.Hour {
+		t.Errorf("Authorize(ok) = %v, %v", d, err)
+	}
+	if _, err := a.Authorize("nope"); err == nil {
+		t.Error("Authorize(nope) succeeded")
+	}
+}

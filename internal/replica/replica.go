@@ -1,0 +1,272 @@
+// Package replica implements the backup half of Mykil's §IV-C
+// primary-backup replication of an area controller. The backup passively
+// absorbs state snapshots and heartbeats from the primary; when the
+// heartbeats stop, it promotes itself: it reconstructs an area controller
+// from the last replicated state, starts serving under its own address
+// and key pair, and announces the takeover to the area.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mykil/internal/area"
+	"mykil/internal/clock"
+	"mykil/internal/crypt"
+	"mykil/internal/transport"
+	"mykil/internal/wire"
+)
+
+// DefaultTakeoverFactor declares the primary dead after this many missed
+// heartbeat intervals.
+const DefaultTakeoverFactor = 5
+
+// ErrNotPromoted reports that no takeover has happened yet.
+var ErrNotPromoted = errors.New("replica: not promoted")
+
+// Config parameterizes a backup.
+type Config struct {
+	// ID is the backup's identity. Required.
+	ID string
+	// Transport carries frames; Keys is the backup's own key pair. Both
+	// required. Members learn this public key at join and use it to
+	// verify the takeover announcement.
+	Transport transport.Transport
+	Keys      *crypt.KeyPair
+	// Clock drives the heartbeat monitor; nil means clock.Real.
+	Clock clock.Clock
+	// PrimaryID and PrimaryPub identify and authenticate the watched
+	// primary. Required.
+	PrimaryID  string
+	PrimaryPub crypt.PublicKey
+	// HeartbeatEvery is the primary's configured heartbeat interval.
+	// Required (must match the primary's area.Config.HeartbeatEvery).
+	HeartbeatEvery time.Duration
+	// TakeoverAfter overrides the silence window; zero means
+	// DefaultTakeoverFactor × HeartbeatEvery.
+	TakeoverAfter time.Duration
+	// ControllerConfig seeds the promoted controller (KShared, RSPub,
+	// Directory, timing...). Transport, Keys, ID, Clock are overridden
+	// with the backup's own.
+	ControllerConfig area.Config
+	// OnPromote, if set, is called with the promoted controller.
+	OnPromote func(*area.Controller)
+	// Logf, if set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Backup watches a primary area controller and takes over on failure.
+type Backup struct {
+	cfg      Config
+	clk      clock.Clock
+	takeover time.Duration
+
+	mu        sync.Mutex
+	state     *area.State
+	stateSeq  uint64
+	lastHB    time.Time
+	hbSeen    bool
+	promoted  *area.Controller
+	syncCount int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New validates the config and builds a backup.
+func New(cfg Config) (*Backup, error) {
+	if cfg.ID == "" || cfg.Transport == nil || cfg.Keys == nil {
+		return nil, fmt.Errorf("replica: ID, Transport, and Keys are required")
+	}
+	if cfg.PrimaryID == "" || cfg.PrimaryPub.IsZero() {
+		return nil, fmt.Errorf("replica: PrimaryID and PrimaryPub are required")
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		return nil, fmt.Errorf("replica: HeartbeatEvery must be positive")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	takeover := cfg.TakeoverAfter
+	if takeover == 0 {
+		takeover = DefaultTakeoverFactor * cfg.HeartbeatEvery
+	}
+	return &Backup{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		takeover: takeover,
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the monitoring loop.
+func (b *Backup) Start() {
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.run()
+	}()
+}
+
+// Close stops the monitoring loop. A promoted controller keeps running;
+// the caller owns it via OnPromote or Promoted.
+func (b *Backup) Close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}
+
+// Promoted returns the controller this backup promoted, if any.
+func (b *Backup) Promoted() (*area.Controller, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.promoted == nil {
+		return nil, ErrNotPromoted
+	}
+	return b.promoted, nil
+}
+
+// HasState reports whether at least one state snapshot has been absorbed.
+func (b *Backup) HasState() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != nil
+}
+
+// SyncCount reports how many snapshots were absorbed.
+func (b *Backup) SyncCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.syncCount
+}
+
+// StateMembers reports how many members the latest absorbed snapshot
+// contains (zero when no snapshot has arrived).
+func (b *Backup) StateMembers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == nil {
+		return 0
+	}
+	return len(b.state.Members)
+}
+
+func (b *Backup) run() {
+	tick := b.clk.NewTicker(b.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case f := <-b.cfg.Transport.Recv():
+			b.handleFrame(f)
+		case <-tick.C():
+			ctrl := b.maybePromote()
+			if ctrl == nil {
+				continue
+			}
+			// Stop consuming the shared transport BEFORE the promoted
+			// controller starts, so every subsequent frame reaches it.
+			ctrl.Start()
+			ctrl.AnnounceFailover()
+			b.mu.Lock()
+			b.promoted = ctrl
+			b.mu.Unlock()
+			if b.cfg.OnPromote != nil {
+				b.cfg.OnPromote(ctrl)
+			}
+			return
+		case <-b.cfg.Transport.Done():
+			return
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+func (b *Backup) handleFrame(f *wire.Frame) {
+	switch f.Kind {
+	case wire.KindReplicaSync:
+		b.handleSync(f)
+	case wire.KindReplicaHeartbeat:
+		b.handleHeartbeat(f)
+	default:
+		// Frames for the promoted controller arrive on its own
+		// transport; anything else here is noise.
+	}
+}
+
+func (b *Backup) handleSync(f *wire.Frame) {
+	if err := b.cfg.PrimaryPub.Verify(f.Body, f.Sig); err != nil {
+		b.cfg.Logf("%s: replica sync with bad signature dropped", b.cfg.ID)
+		return
+	}
+	var sync wire.ReplicaSync
+	if err := wire.OpenBody(b.cfg.Keys, f.Body, &sync); err != nil {
+		b.cfg.Logf("%s: replica sync body: %v", b.cfg.ID, err)
+		return
+	}
+	st, err := area.DecodeState(sync.State)
+	if err != nil {
+		b.cfg.Logf("%s: replica state: %v", b.cfg.ID, err)
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != nil && sync.Seq <= b.stateSeq {
+		return // stale or duplicate snapshot
+	}
+	b.state = st
+	b.stateSeq = sync.Seq
+	b.syncCount++
+	b.lastHB = b.clk.Now()
+	b.hbSeen = true
+}
+
+func (b *Backup) handleHeartbeat(f *wire.Frame) {
+	if err := b.cfg.PrimaryPub.Verify(f.Body, f.Sig); err != nil {
+		return
+	}
+	var hb wire.ReplicaHeartbeat
+	if err := wire.DecodePlain(f.Body, &hb); err != nil {
+		return
+	}
+	b.mu.Lock()
+	b.lastHB = b.clk.Now()
+	b.hbSeen = true
+	b.mu.Unlock()
+}
+
+// maybePromote builds (but does not start) the replacement controller
+// when the primary has been silent past the takeover window.
+func (b *Backup) maybePromote() *area.Controller {
+	b.mu.Lock()
+	if b.promoted != nil || !b.hbSeen || b.state == nil {
+		b.mu.Unlock()
+		return nil
+	}
+	silence := b.clk.Now().Sub(b.lastHB)
+	if silence <= b.takeover {
+		b.mu.Unlock()
+		return nil
+	}
+	st := b.state
+	b.mu.Unlock()
+
+	b.cfg.Logf("%s: primary %s silent for %v; promoting", b.cfg.ID, b.cfg.PrimaryID, silence)
+	cfg := b.cfg.ControllerConfig
+	cfg.ID = b.cfg.ID
+	cfg.Transport = b.cfg.Transport
+	cfg.Keys = b.cfg.Keys
+	cfg.Clock = b.cfg.Clock
+	cfg.Logf = b.cfg.Logf
+	ctrl, err := area.NewFromState(cfg, st)
+	if err != nil {
+		b.cfg.Logf("%s: promotion failed: %v", b.cfg.ID, err)
+		return nil
+	}
+	return ctrl
+}

@@ -1,0 +1,284 @@
+package replica
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"mykil/internal/area"
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+	"mykil/internal/simnet"
+	"mykil/internal/transport"
+	"mykil/internal/wire"
+)
+
+var (
+	testPoolOnce sync.Once
+	testPool     *crypt.Pool
+)
+
+func keyPair(t *testing.T) *crypt.KeyPair {
+	t.Helper()
+	testPoolOnce.Do(func() {
+		testPool = crypt.NewPool(512)
+		if err := testPool.Warm(4); err != nil {
+			t.Fatalf("warming pool: %v", err)
+		}
+	})
+	kp, err := testPool.Get()
+	if err != nil {
+		t.Fatalf("key pair: %v", err)
+	}
+	return kp
+}
+
+// rig hosts a backup plus a hand-driven "primary" endpoint.
+type rig struct {
+	t        *testing.T
+	net      *simnet.Network
+	backup   *Backup
+	primary  transport.Transport
+	priKeys  *crypt.KeyPair
+	backKeys *crypt.KeyPair
+}
+
+func newRig(t *testing.T, mutate func(*Config)) *rig {
+	t.Helper()
+	r := &rig{
+		t:        t,
+		net:      simnet.New(simnet.Config{}),
+		priKeys:  keyPair(t),
+		backKeys: keyPair(t),
+	}
+	var err error
+	r.primary, err = transport.NewSim(r.net, "primary")
+	if err != nil {
+		t.Fatalf("primary transport: %v", err)
+	}
+	backTr, err := transport.NewSim(r.net, "backup")
+	if err != nil {
+		t.Fatalf("backup transport: %v", err)
+	}
+	cfg := Config{
+		ID:             "backup",
+		Transport:      backTr,
+		Keys:           r.backKeys,
+		PrimaryID:      "primary",
+		PrimaryPub:     r.priKeys.Public(),
+		HeartbeatEvery: 20 * time.Millisecond,
+		ControllerConfig: area.Config{
+			KShared: crypt.NewSymKey(),
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r.backup = b
+	b.Start()
+	t.Cleanup(func() {
+		b.Close()
+		if ctrl, err := b.Promoted(); err == nil {
+			ctrl.Close()
+		}
+		_ = backTr.Close()
+		_ = r.primary.Close()
+		r.net.Close()
+	})
+	return r
+}
+
+// sampleState builds a one-member area state.
+func sampleState(t *testing.T, memberKeys *crypt.KeyPair) *area.State {
+	t.Helper()
+	tree := keytree.New(keytree.Config{Arity: 2})
+	if _, err := tree.Join("m1"); err != nil {
+		t.Fatalf("tree join: %v", err)
+	}
+	return &area.State{
+		AreaID: "area-0",
+		Tree:   tree.Export(),
+		Members: []area.MemberState{{
+			ID:     "m1",
+			Addr:   "m1",
+			PubDER: memberKeys.Public().Marshal(),
+		}},
+		Seq: 1,
+	}
+}
+
+// sendSync ships a signed state snapshot from the primary endpoint.
+func (r *rig) sendSync(st *area.State, seq uint64, signer *crypt.KeyPair) {
+	r.t.Helper()
+	blob, err := area.EncodeState(st)
+	if err != nil {
+		r.t.Fatalf("EncodeState: %v", err)
+	}
+	body, err := wire.SealBody(r.backKeys.Public(), wire.ReplicaSync{
+		AreaID: st.AreaID, Seq: seq, State: blob,
+	})
+	if err != nil {
+		r.t.Fatalf("SealBody: %v", err)
+	}
+	f := &wire.Frame{Kind: wire.KindReplicaSync, From: "primary", Body: body, Sig: signer.Sign(body)}
+	if err := r.primary.Send("backup", f); err != nil {
+		r.t.Fatalf("Send: %v", err)
+	}
+}
+
+// sendHeartbeat ships one signed heartbeat.
+func (r *rig) sendHeartbeat(seq uint64) {
+	r.t.Helper()
+	body, err := wire.PlainBody(wire.ReplicaHeartbeat{AreaID: "area-0", Seq: seq})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	f := &wire.Frame{Kind: wire.KindReplicaHeartbeat, From: "primary", Body: body, Sig: r.priKeys.Sign(body)}
+	if err := r.primary.Send("backup", f); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	kp := keyPair(t)
+	n := simnet.New(simnet.Config{})
+	defer n.Close()
+	tr, err := transport.NewSim(n, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	if _, err := New(Config{ID: "b", Transport: tr, Keys: kp, PrimaryID: "p", PrimaryPub: kp.Public()}); err == nil {
+		t.Error("config without HeartbeatEvery accepted")
+	}
+}
+
+func TestAbsorbsStateAndStaysQuietWhileHeartbeating(t *testing.T) {
+	r := newRig(t, nil)
+	st := sampleState(t, keyPair(t))
+	r.sendSync(st, 1, r.priKeys)
+	waitFor(t, "state absorption", 5*time.Second, r.backup.HasState)
+	if r.backup.StateMembers() != 1 {
+		t.Errorf("StateMembers = %d", r.backup.StateMembers())
+	}
+
+	// Keep heartbeats flowing well past the takeover window; the backup
+	// must not promote.
+	for i := 0; i < 10; i++ {
+		r.sendHeartbeat(uint64(i))
+		time.Sleep(15 * time.Millisecond)
+	}
+	if _, err := r.backup.Promoted(); !errors.Is(err, ErrNotPromoted) {
+		t.Error("backup promoted despite live primary")
+	}
+}
+
+func TestRejectsForgedSync(t *testing.T) {
+	r := newRig(t, nil)
+	st := sampleState(t, keyPair(t))
+	attacker := keyPair(t)
+	r.sendSync(st, 1, attacker)
+	time.Sleep(60 * time.Millisecond)
+	if r.backup.HasState() {
+		t.Error("forged sync absorbed")
+	}
+}
+
+func TestIgnoresStaleSyncSeq(t *testing.T) {
+	r := newRig(t, nil)
+	st := sampleState(t, keyPair(t))
+	r.sendSync(st, 5, r.priKeys)
+	waitFor(t, "first sync", 5*time.Second, r.backup.HasState)
+
+	// An older (replayed) snapshot must not overwrite the newer one.
+	empty := &area.State{AreaID: "area-0", Tree: keytree.New(keytree.Config{}).Export(), Seq: 2}
+	r.sendSync(empty, 2, r.priKeys)
+	time.Sleep(60 * time.Millisecond)
+	if r.backup.StateMembers() != 1 {
+		t.Errorf("stale sync replaced state: members = %d", r.backup.StateMembers())
+	}
+	if r.backup.SyncCount() != 1 {
+		t.Errorf("SyncCount = %d, want 1", r.backup.SyncCount())
+	}
+}
+
+func TestRejectsCorruptStateBlob(t *testing.T) {
+	r := newRig(t, nil)
+	body, err := wire.SealBody(r.backKeys.Public(), wire.ReplicaSync{
+		AreaID: "area-0", Seq: 1, State: []byte("not a state blob"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &wire.Frame{Kind: wire.KindReplicaSync, From: "primary", Body: body, Sig: r.priKeys.Sign(body)}
+	if err := r.primary.Send("backup", f); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if r.backup.HasState() {
+		t.Error("corrupt state blob absorbed")
+	}
+}
+
+func TestPromotesAfterSilence(t *testing.T) {
+	promoted := make(chan *area.Controller, 1)
+	r := newRig(t, func(c *Config) {
+		c.TakeoverAfter = 60 * time.Millisecond
+		c.OnPromote = func(ctrl *area.Controller) { promoted <- ctrl }
+	})
+	memberKP := keyPair(t)
+	r.sendSync(sampleState(t, memberKP), 1, r.priKeys)
+	waitFor(t, "sync", 5*time.Second, r.backup.HasState)
+	r.sendHeartbeat(1)
+	// Now go silent; promotion must follow.
+	select {
+	case ctrl := <-promoted:
+		if !ctrl.HasMember("m1") {
+			t.Error("promoted controller lost the member")
+		}
+		got, err := r.backup.Promoted()
+		if err != nil || got != ctrl {
+			t.Errorf("Promoted() = %v, %v", got, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no promotion after primary silence")
+	}
+}
+
+func TestNoPromotionWithoutState(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.TakeoverAfter = 40 * time.Millisecond })
+	r.sendHeartbeat(1) // heartbeat but never a snapshot
+	time.Sleep(300 * time.Millisecond)
+	if _, err := r.backup.Promoted(); !errors.Is(err, ErrNotPromoted) {
+		t.Error("promoted without any replicated state")
+	}
+}
+
+func TestNoPromotionBeforeFirstContact(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.TakeoverAfter = 40 * time.Millisecond })
+	// Total silence from the start: the backup has never seen the
+	// primary, so it must not declare it dead.
+	time.Sleep(300 * time.Millisecond)
+	if _, err := r.backup.Promoted(); !errors.Is(err, ErrNotPromoted) {
+		t.Error("promoted before first primary contact")
+	}
+}

@@ -1,0 +1,447 @@
+// Package simnet is an in-memory message network used to run the full
+// Mykil protocol stack — registration server, area controllers, members —
+// inside one process. It models exactly the failure phenomena the paper's
+// fault-tolerance machinery must survive:
+//
+//   - network partitions (§IV): disjoint node groups that cannot exchange
+//     messages until healed;
+//   - node crashes (§IV-C crash failure model): a crashed node neither
+//     sends nor receives;
+//   - message loss and per-link latency, for the join/rejoin latency
+//     experiment (§V-D).
+//
+// Delivery is FIFO per (sender, receiver) link. All byte and message
+// counts are recorded in a stats.Registry so experiments can report
+// bandwidth.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mykil/internal/stats"
+)
+
+// Counter names recorded in the network's stats registry.
+const (
+	StatSentMsgs         = "sim.sent.msgs"
+	StatSentBytes        = "sim.sent.bytes"
+	StatDeliveredMsgs    = "sim.delivered.msgs"
+	StatDroppedPartition = "sim.dropped.partition"
+	StatDroppedCrashed   = "sim.dropped.crashed"
+	StatDroppedRate      = "sim.dropped.rate"
+	StatDroppedOverflow  = "sim.dropped.overflow"
+	StatDroppedClosed    = "sim.dropped.closed"
+)
+
+// inboxCapacity bounds each endpoint's mailbox. Rekey bursts in the
+// largest experiments stay well under this.
+const inboxCapacity = 8192
+
+// Errors returned by this package.
+var (
+	ErrNodeExists   = errors.New("simnet: node already registered")
+	ErrNodeUnknown  = errors.New("simnet: node not registered")
+	ErrNodeCrashed  = errors.New("simnet: node is crashed")
+	ErrNetClosed    = errors.New("simnet: network closed")
+	ErrSelfDelivery = errors.New("simnet: message addressed to sender")
+)
+
+// Envelope is one delivered message.
+type Envelope struct {
+	From    string
+	To      string
+	Payload []byte
+}
+
+// Config controls latency and loss. The zero value means instant, lossless
+// delivery.
+type Config struct {
+	// DefaultLatency applies to every link without an override.
+	DefaultLatency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropRate drops each message independently with this probability.
+	DropRate float64
+	// Seed seeds the drop/jitter RNG; zero selects a fixed default so
+	// runs are reproducible unless the caller opts out.
+	Seed int64
+}
+
+// Network is the hub all endpoints attach to.
+type Network struct {
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	nodes     map[string]*Endpoint
+	crashed   map[string]bool
+	partition map[string]int // node -> group id; absent means group 0
+	partEpoch int            // bumped on every partition change
+	latency   map[linkKey]time.Duration
+	links     map[linkKey]*link
+	closed    bool
+	wg        sync.WaitGroup
+
+	reg *stats.Registry
+}
+
+type linkKey struct{ from, to string }
+
+// New creates a network with the given config.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		nodes:     make(map[string]*Endpoint),
+		crashed:   make(map[string]bool),
+		partition: make(map[string]int),
+		latency:   make(map[linkKey]time.Duration),
+		links:     make(map[linkKey]*link),
+		reg:       &stats.Registry{},
+	}
+}
+
+// Stats returns the network's counter registry.
+func (n *Network) Stats() *stats.Registry { return n.reg }
+
+// Endpoint registers a new node and returns its endpoint.
+func (n *Network) Endpoint(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrNetClosed
+	}
+	if _, ok := n.nodes[addr]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrNodeExists, addr)
+	}
+	ep := &Endpoint{
+		addr:  addr,
+		net:   n,
+		inbox: make(chan Envelope, inboxCapacity),
+		done:  make(chan struct{}),
+	}
+	n.nodes[addr] = ep
+	return ep, nil
+}
+
+// MustEndpoint is Endpoint but panics on error; for tests and examples.
+func (n *Network) MustEndpoint(addr string) *Endpoint {
+	ep, err := n.Endpoint(addr)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// SetLinkLatency overrides the latency for messages from one node to
+// another (one direction).
+func (n *Network) SetLinkLatency(from, to string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency[linkKey{from, to}] = d
+}
+
+// SetDefaultLatency changes the latency applied to links without an
+// override.
+func (n *Network) SetDefaultLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DefaultLatency = d
+}
+
+// SetDropRate changes the independent per-message drop probability.
+func (n *Network) SetDropRate(rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DropRate = rate
+}
+
+// SetPartitions divides the network. Nodes in the same group communicate;
+// nodes in different groups do not. Nodes not named in any group form one
+// implicit extra group together. Calling with no arguments heals the
+// network.
+func (n *Network) SetPartitions(groups ...[]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int)
+	n.partEpoch++
+	for i, group := range groups {
+		for _, node := range group {
+			n.partition[node] = i + 1 // 0 is the implicit group
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.SetPartitions() }
+
+// Partitioned reports whether two nodes are currently separated.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partition[a] != n.partition[b]
+}
+
+// Crash marks a node as crashed: its sends fail and deliveries to it are
+// dropped. Pending queued messages to it are discarded on delivery.
+func (n *Network) Crash(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[addr] = true
+}
+
+// Restart clears a node's crashed state. Messages dropped while crashed
+// are not replayed, matching a real reboot.
+func (n *Network) Restart(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, addr)
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Network) Crashed(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[addr]
+}
+
+// Close shuts the network down and waits for link goroutines to exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	eps := make([]*Endpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	for _, l := range links {
+		l.stop()
+	}
+	for _, ep := range eps {
+		ep.closeOnce.Do(func() { close(ep.done) })
+	}
+	n.wg.Wait()
+}
+
+// send validates, accounts, and schedules one message. Called by Endpoint.
+func (n *Network) send(from, to string, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNetClosed
+	}
+	if from == to {
+		n.mu.Unlock()
+		return ErrSelfDelivery
+	}
+	if _, ok := n.nodes[to]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNodeUnknown, to)
+	}
+	if n.crashed[from] {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNodeCrashed, from)
+	}
+
+	n.reg.Add(StatSentMsgs, 1)
+	n.reg.Add(StatSentBytes, int64(len(payload)))
+
+	// Loss and partition checks happen at send time; a partition that
+	// forms after a message is in flight does not retroactively drop it.
+	if n.partition[from] != n.partition[to] {
+		n.mu.Unlock()
+		n.reg.Add(StatDroppedPartition, 1)
+		return nil // silent loss: senders learn via timeouts, like UDP/IP multicast
+	}
+	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+		n.mu.Unlock()
+		n.reg.Add(StatDroppedRate, 1)
+		return nil
+	}
+
+	delay := n.cfg.DefaultLatency
+	if d, ok := n.latency[linkKey{from, to}]; ok {
+		delay = d
+	}
+	if n.cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.cfg.Jitter)))
+	}
+
+	l := n.linkLocked(from, to)
+	n.mu.Unlock()
+
+	l.enqueue(queuedMsg{
+		env:       Envelope{From: from, To: to, Payload: payload},
+		deliverAt: time.Now().Add(delay),
+	})
+	return nil
+}
+
+// linkLocked returns (creating if needed) the link goroutine for a pair.
+// Caller holds n.mu.
+func (n *Network) linkLocked(from, to string) *link {
+	key := linkKey{from, to}
+	l, ok := n.links[key]
+	if !ok {
+		l = newLink(n)
+		n.links[key] = l
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			l.run()
+		}()
+	}
+	return l
+}
+
+// deliver hands a message to its destination endpoint, applying crash and
+// close checks at delivery time.
+func (n *Network) deliver(env Envelope) {
+	n.mu.Lock()
+	ep, ok := n.nodes[env.To]
+	crashed := n.crashed[env.To]
+	n.mu.Unlock()
+	if !ok || crashed {
+		n.reg.Add(StatDroppedCrashed, 1)
+		return
+	}
+	select {
+	case <-ep.done:
+		n.reg.Add(StatDroppedClosed, 1)
+		return
+	default:
+	}
+	select {
+	case ep.inbox <- env:
+		n.reg.Add(StatDeliveredMsgs, 1)
+	case <-ep.done:
+		n.reg.Add(StatDroppedClosed, 1)
+	default:
+		n.reg.Add(StatDroppedOverflow, 1)
+	}
+}
+
+type queuedMsg struct {
+	env       Envelope
+	deliverAt time.Time
+}
+
+// link delivers messages for one (from, to) pair in FIFO order, sleeping
+// until each message's delivery time.
+type link struct {
+	net     *Network
+	mu      sync.Mutex
+	queue   []queuedMsg
+	wake    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+}
+
+func newLink(n *Network) *link {
+	return &link{
+		net:     n,
+		wake:    make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+	}
+}
+
+func (l *link) enqueue(m queuedMsg) {
+	l.mu.Lock()
+	l.queue = append(l.queue, m)
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (l *link) stop() { l.once.Do(func() { close(l.stopped) }) }
+
+func (l *link) run() {
+	for {
+		l.mu.Lock()
+		var head *queuedMsg
+		if len(l.queue) > 0 {
+			head = &l.queue[0]
+		}
+		l.mu.Unlock()
+
+		if head == nil {
+			select {
+			case <-l.wake:
+				continue
+			case <-l.stopped:
+				return
+			}
+		}
+
+		if wait := time.Until(head.deliverAt); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-l.stopped:
+				return
+			}
+		}
+
+		l.mu.Lock()
+		m := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		l.net.deliver(m.env)
+	}
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	addr      string
+	net       *Network
+	inbox     chan Envelope
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// Addr returns the endpoint's network address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// Send transmits payload to another node. A nil error means the message
+// was accepted, not that it will arrive: partitions and loss drop silently,
+// as on a real best-effort network. Payload is copied; the caller may
+// reuse the slice.
+func (e *Endpoint) Send(to string, payload []byte) error {
+	select {
+	case <-e.done:
+		return ErrNetClosed
+	default:
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	return e.net.send(e.addr, to, buf)
+}
+
+// Inbox returns the delivery channel. The channel is never closed; use
+// Done to detect shutdown in selects.
+func (e *Endpoint) Inbox() <-chan Envelope { return e.inbox }
+
+// Done is closed when the endpoint (or the network) shuts down.
+func (e *Endpoint) Done() <-chan struct{} { return e.done }
+
+// Close detaches the endpoint; subsequent deliveries to it are dropped.
+func (e *Endpoint) Close() {
+	e.closeOnce.Do(func() { close(e.done) })
+}

@@ -1,0 +1,320 @@
+// Package stats provides lightweight, concurrency-safe counters and
+// histograms used by the simulated network and the experiment harness to
+// account for messages, bytes, and latency distributions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing, concurrency-safe counter.
+// The zero value is ready to use.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increases the counter by delta. Negative deltas are ignored so that a
+// Counter remains monotonic even under buggy callers.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() {
+	c.mu.Lock()
+	c.v = 0
+	c.mu.Unlock()
+}
+
+// Registry is a named collection of counters, keyed by category string
+// (e.g. "keyupdate.multicast.bytes"). The zero value is ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add is shorthand for Counter(name).Add(delta).
+func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Value returns the current value of the named counter (zero if absent).
+func (r *Registry) Value(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// Names returns all registered counter names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes every registered counter.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+}
+
+// Snapshot returns a copy of all counter values.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders the registry as "name=value" pairs, sorted by name.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, snap[name]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Histogram accumulates float64 samples and reports summary statistics.
+// The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean of the samples, or zero if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Min returns the smallest sample, or zero if empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	m := h.samples[0]
+	for _, v := range h.samples[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample, or zero if empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	m := h.samples[0]
+	for _, v := range h.samples[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples, or zero if empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.samples[idx]
+}
+
+// Stddev returns the population standard deviation of the samples.
+func (h *Histogram) Stddev() float64 {
+	mean := h.Mean()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range h.samples {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(h.samples)))
+}
+
+// Summary renders count/mean/min/median/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f",
+		h.Count(), h.Mean(), h.Min(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Distribution counts integer-valued observations, used for "how many
+// members updated k keys" style tables from the paper's CPU analysis.
+// The zero value is ready to use.
+type Distribution struct {
+	mu     sync.Mutex
+	counts map[int]int64
+}
+
+// Observe records one occurrence of value k.
+func (d *Distribution) Observe(k int) { d.ObserveN(k, 1) }
+
+// ObserveN records n occurrences of value k.
+func (d *Distribution) ObserveN(k int, n int64) {
+	d.mu.Lock()
+	if d.counts == nil {
+		d.counts = make(map[int]int64)
+	}
+	d.counts[k] += n
+	d.mu.Unlock()
+}
+
+// Count returns how many observations of value k were recorded.
+func (d *Distribution) Count(k int) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counts[k]
+}
+
+// Total returns the total number of observations.
+func (d *Distribution) Total() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var t int64
+	for _, n := range d.counts {
+		t += n
+	}
+	return t
+}
+
+// Keys returns the observed values in ascending order.
+func (d *Distribution) Keys() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]int, 0, len(d.counts))
+	for k := range d.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// WeightedSum returns sum(k * count(k)), e.g. total key updates across all
+// members.
+func (d *Distribution) WeightedSum() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var t int64
+	for k, n := range d.counts {
+		t += int64(k) * n
+	}
+	return t
+}
+
+// String renders the distribution as "k:count" pairs in ascending key order.
+func (d *Distribution) String() string {
+	keys := d.Keys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%d:%d", k, d.Count(k)))
+	}
+	return strings.Join(parts, " ")
+}

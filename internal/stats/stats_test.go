@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter value = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Errorf("Value after Reset = %d", c.Value())
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(-5)
+	if got := c.Value(); got != 10 {
+		t.Errorf("Value = %d, want 10 (negative add ignored)", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, perWorker = 16, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("Value = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	r.Add("a.bytes", 100)
+	r.Add("b.msgs", 3)
+	r.Counter("a.bytes").Add(50)
+	if got := r.Value("a.bytes"); got != 150 {
+		t.Errorf("a.bytes = %d, want 150", got)
+	}
+	if got := r.Value("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a.bytes" || names[1] != "b.msgs" {
+		t.Errorf("Names = %v", names)
+	}
+	snap := r.Snapshot()
+	if snap["a.bytes"] != 150 || snap["b.msgs"] != 3 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	if s := r.String(); s != "a.bytes=150 b.msgs=3" {
+		t.Errorf("String = %q", s)
+	}
+	r.Reset()
+	if r.Value("a.bytes") != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestRegistryConcurrentCounterCreation(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Add("shared", 1)
+		}()
+	}
+	wg.Wait()
+	if got := r.Value("shared"); got != 32 {
+		t.Errorf("shared = %d, want 32", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 ||
+		h.Quantile(0.5) != 0 || h.Stddev() != 0 {
+		t.Error("empty histogram returned nonzero statistics")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{4, 2, 8, 6} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := h.Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := h.Max(); got != 8 {
+		t.Errorf("Max = %v, want 8", got)
+	}
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("p50 = %v, want 4", got)
+	}
+	if got := h.Quantile(0); got != 2 {
+		t.Errorf("p0 = %v, want 2", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("p100 = %v, want 8", got)
+	}
+	want := math.Sqrt(5) // population stddev of {2,4,6,8}
+	if got := h.Stddev(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Stddev = %v, want %v", got, want)
+	}
+	if h.Summary() == "" {
+		t.Error("Summary empty")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	_ = h.Quantile(0.5)
+	h.Observe(1) // must re-sort lazily
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 after late observe = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		var h Histogram
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	d.Observe(1)
+	d.ObserveN(1, 2)
+	d.ObserveN(3, 5)
+	if got := d.Count(1); got != 3 {
+		t.Errorf("Count(1) = %d, want 3", got)
+	}
+	if got := d.Count(2); got != 0 {
+		t.Errorf("Count(2) = %d, want 0", got)
+	}
+	if got := d.Total(); got != 8 {
+		t.Errorf("Total = %d, want 8", got)
+	}
+	if got := d.WeightedSum(); got != 1*3+3*5 {
+		t.Errorf("WeightedSum = %d, want 18", got)
+	}
+	keys := d.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Errorf("Keys = %v", keys)
+	}
+	if s := d.String(); s != "1:3 3:5" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDistributionConcurrent(t *testing.T) {
+	var d Distribution
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				d.Observe(k % 3)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := d.Total(); got != 800 {
+		t.Errorf("Total = %d, want 800", got)
+	}
+}

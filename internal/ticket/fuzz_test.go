@@ -1,0 +1,46 @@
+package ticket
+
+import (
+	"testing"
+	"time"
+
+	"mykil/internal/crypt"
+)
+
+// FuzzOpen hardens ticket parsing: arbitrary blobs must be rejected as
+// tampered, never panic, and never yield a ticket under the wrong key.
+func FuzzOpen(f *testing.F) {
+	k := crypt.NewSymKey()
+	tk := &Ticket{
+		JoinTime:       time.Unix(1750000000, 0),
+		Validity:       time.Unix(1760000000, 0),
+		ID:             "mac-addr",
+		PublicKeyDER:   []byte{1, 2, 3},
+		AreaController: "ac-1",
+	}
+	sealed, err := tk.Seal(k)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sealed)
+	f.Add([]byte{})
+	f.Add([]byte("forged"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Open(k, data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a reseal/reopen cycle intact.
+		blob, err := got.Seal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := Open(k, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.ID != got.ID || again.AreaController != got.AreaController {
+			t.Error("reseal round trip changed ticket")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+// Package ticket implements Mykil's Kerberos-style rejoin tickets (§IV-B).
+// A ticket is issued to a member at join (step 7) and lets it enter a
+// different area after a disconnection without repeating the full
+// registration protocol. Tickets are sealed under K_shared, a symmetric
+// key known to every area controller, so any controller can verify a
+// ticket issued by any other — the paper's "single ski pass valid at five
+// resorts".
+package ticket
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"mykil/internal/crypt"
+)
+
+// Errors returned when validating tickets.
+var (
+	// ErrTampered reports a ticket blob that fails authentication: either
+	// forged, corrupted, or sealed under a different K_shared.
+	ErrTampered = errors.New("ticket: tampered or foreign ticket")
+	// ErrExpired reports a ticket past its validity period.
+	ErrExpired = errors.New("ticket: validity period over")
+	// ErrNotYetValid reports a ticket whose join time is in the future —
+	// a sign of clock tampering or a forged replay.
+	ErrNotYetValid = errors.New("ticket: join time in the future")
+)
+
+// Ticket carries the fields the paper lists in §IV-B. The paper's trailing
+// MAC field is subsumed by the authenticated encryption used in Seal: any
+// bit flip anywhere in the sealed blob is rejected.
+type Ticket struct {
+	// JoinTime is when the member first joined the group.
+	JoinTime time.Time
+	// Validity is the ticket's expiry time ("ski pass validity period").
+	Validity time.Time
+	// ID uniquely identifies the member; the paper suggests the MAC
+	// address of the member's NIC.
+	ID string
+	// PublicKeyDER is the member's public key (crypt.PublicKey.Marshal
+	// form); the rejoin challenge-response proves possession of the
+	// corresponding private key.
+	PublicKeyDER []byte
+	// AreaController names the controller of the last area the member
+	// belonged to, so a new controller can run the §IV-B steps 4-5
+	// anti-cohort check.
+	AreaController string
+}
+
+// Seal encrypts and authenticates the ticket under kShared.
+func (t *Ticket) Seal(kShared crypt.SymKey) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
+		return nil, fmt.Errorf("ticket: encoding: %w", err)
+	}
+	return crypt.Seal(kShared, buf.Bytes()), nil
+}
+
+// Open authenticates and decodes a sealed ticket. It performs no validity
+// check; call Validate with the current time for that.
+func Open(kShared crypt.SymKey, sealed []byte) (*Ticket, error) {
+	pt, err := crypt.Open(kShared, sealed)
+	if err != nil {
+		return nil, ErrTampered
+	}
+	var t Ticket
+	if err := gob.NewDecoder(bytes.NewReader(pt)).Decode(&t); err != nil {
+		return nil, ErrTampered
+	}
+	return &t, nil
+}
+
+// Validate checks the ticket's time window against now.
+func (t *Ticket) Validate(now time.Time) error {
+	if now.Before(t.JoinTime) {
+		return fmt.Errorf("%w: join %v, now %v", ErrNotYetValid, t.JoinTime, now)
+	}
+	if now.After(t.Validity) {
+		return fmt.Errorf("%w: expired %v, now %v", ErrExpired, t.Validity, now)
+	}
+	return nil
+}
+
+// PublicKey parses the embedded member public key.
+func (t *Ticket) PublicKey() (crypt.PublicKey, error) {
+	return crypt.ParsePublicKey(t.PublicKeyDER)
+}
+
+// WithController returns a copy re-homed to a new area controller — what a
+// controller issues at the end of a successful rejoin (step 6's "updated
+// ticket").
+func (t *Ticket) WithController(ac string) *Ticket {
+	cp := *t
+	cp.PublicKeyDER = bytes.Clone(t.PublicKeyDER)
+	cp.AreaController = ac
+	return &cp
+}

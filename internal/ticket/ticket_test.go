@@ -1,0 +1,164 @@
+package ticket
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mykil/internal/crypt"
+)
+
+var testEpoch = time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+
+func sample() *Ticket {
+	return &Ticket{
+		JoinTime:       testEpoch,
+		Validity:       testEpoch.Add(24 * time.Hour),
+		ID:             "00:1a:2b:3c:4d:5e",
+		PublicKeyDER:   []byte{1, 2, 3, 4},
+		AreaController: "ac-west",
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := crypt.NewSymKey()
+	want := sample()
+	sealed, err := want.Seal(k)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := Open(k, sealed)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !got.JoinTime.Equal(want.JoinTime) || !got.Validity.Equal(want.Validity) ||
+		got.ID != want.ID || got.AreaController != want.AreaController ||
+		string(got.PublicKeyDER) != string(want.PublicKeyDER) {
+		t.Errorf("round trip mismatch: got %+v", got)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	sealed, err := sample().Seal(crypt.NewSymKey())
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, err := Open(crypt.NewSymKey(), sealed); !errors.Is(err, ErrTampered) {
+		t.Errorf("Open with wrong K_shared: err=%v, want ErrTampered", err)
+	}
+}
+
+func TestOpenRejectsEveryBitFlip(t *testing.T) {
+	// DESIGN.md property 5: any bit flip in a sealed ticket is rejected.
+	k := crypt.NewSymKey()
+	sealed, err := sample().Seal(k)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	for i := 0; i < len(sealed); i++ {
+		mut := append([]byte(nil), sealed...)
+		mut[i] ^= 0x80
+		if _, err := Open(k, mut); !errors.Is(err, ErrTampered) {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	k := crypt.NewSymKey()
+	for _, blob := range [][]byte{nil, {}, []byte("short"), make([]byte, 200)} {
+		if _, err := Open(k, blob); !errors.Is(err, ErrTampered) {
+			t.Errorf("garbage blob (%d bytes): err=%v, want ErrTampered", len(blob), err)
+		}
+	}
+}
+
+func TestValidateWindow(t *testing.T) {
+	tk := sample()
+	cases := []struct {
+		name string
+		now  time.Time
+		want error
+	}{
+		{"at join", testEpoch, nil},
+		{"mid validity", testEpoch.Add(12 * time.Hour), nil},
+		{"at expiry", testEpoch.Add(24 * time.Hour), nil},
+		{"expired", testEpoch.Add(24*time.Hour + time.Second), ErrExpired},
+		{"before join", testEpoch.Add(-time.Second), ErrNotYetValid},
+	}
+	for _, tc := range cases {
+		err := tk.Validate(tc.now)
+		if tc.want == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: err=%v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPublicKeyParses(t *testing.T) {
+	kp, err := crypt.GenerateKeyPair(512)
+	if err != nil {
+		t.Fatalf("GenerateKeyPair: %v", err)
+	}
+	tk := sample()
+	tk.PublicKeyDER = kp.Public().Marshal()
+	got, err := tk.PublicKey()
+	if err != nil {
+		t.Fatalf("PublicKey: %v", err)
+	}
+	if !got.Equal(kp.Public()) {
+		t.Error("parsed public key differs")
+	}
+}
+
+func TestPublicKeyRejectsGarbage(t *testing.T) {
+	tk := sample()
+	if _, err := tk.PublicKey(); err == nil {
+		t.Error("PublicKey parsed garbage DER")
+	}
+}
+
+func TestWithControllerIsolatedCopy(t *testing.T) {
+	orig := sample()
+	rehomed := orig.WithController("ac-east")
+	if rehomed.AreaController != "ac-east" {
+		t.Errorf("AreaController = %q", rehomed.AreaController)
+	}
+	if orig.AreaController != "ac-west" {
+		t.Error("original mutated")
+	}
+	rehomed.PublicKeyDER[0] = 0xFF
+	if orig.PublicKeyDER[0] == 0xFF {
+		t.Error("PublicKeyDER shared between copies")
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	k := crypt.NewSymKey()
+	f := func(id, ac string, der []byte, joinOffset, validOffset int16) bool {
+		tk := &Ticket{
+			JoinTime:       testEpoch.Add(time.Duration(joinOffset) * time.Minute),
+			Validity:       testEpoch.Add(time.Duration(validOffset) * time.Hour),
+			ID:             id,
+			PublicKeyDER:   der,
+			AreaController: ac,
+		}
+		sealed, err := tk.Seal(k)
+		if err != nil {
+			return false
+		}
+		got, err := Open(k, sealed)
+		if err != nil {
+			return false
+		}
+		return got.ID == tk.ID && got.AreaController == tk.AreaController &&
+			got.JoinTime.Equal(tk.JoinTime) && got.Validity.Equal(tk.Validity) &&
+			string(got.PublicKeyDER) == string(tk.PublicKeyDER)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

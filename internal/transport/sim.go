@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"sync"
+
+	"mykil/internal/simnet"
+	"mykil/internal/wire"
+)
+
+// Sim is a Transport over a simnet endpoint.
+type Sim struct {
+	ep     *simnet.Endpoint
+	frames chan *wire.Frame
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*Sim)(nil)
+
+// NewSim attaches a new transport to the network under the given address.
+func NewSim(n *simnet.Network, addr string) (*Sim, error) {
+	ep, err := n.Endpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		ep:     ep,
+		frames: make(chan *wire.Frame, 256),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.pump()
+	}()
+	return s, nil
+}
+
+// pump decodes envelopes into frames. Frames that fail to decode are
+// dropped, as a real stack drops corrupt datagrams.
+func (s *Sim) pump() {
+	for {
+		select {
+		case env := <-s.ep.Inbox():
+			f, err := wire.DecodeFrame(env.Payload)
+			if err != nil {
+				continue
+			}
+			select {
+			case s.frames <- f:
+			case <-s.ep.Done():
+				return
+			}
+		case <-s.ep.Done():
+			return
+		}
+	}
+}
+
+// Addr implements Transport.
+func (s *Sim) Addr() string { return s.ep.Addr() }
+
+// Send implements Transport.
+func (s *Sim) Send(to string, f *wire.Frame) error {
+	b, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	return s.ep.Send(to, b)
+}
+
+// Recv implements Transport.
+func (s *Sim) Recv() <-chan *wire.Frame { return s.frames }
+
+// Done implements Transport.
+func (s *Sim) Done() <-chan struct{} { return s.ep.Done() }
+
+// Close implements Transport.
+func (s *Sim) Close() error {
+	s.ep.Close()
+	s.wg.Wait()
+	return nil
+}

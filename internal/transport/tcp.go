@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"mykil/internal/wire"
+)
+
+// maxTCPFrame bounds a single frame on the TCP transport; a peer
+// announcing a larger frame is disconnected rather than trusted to
+// allocate.
+const maxTCPFrame = 16 << 20
+
+// dialTimeout bounds connection establishment to an unresponsive peer.
+const dialTimeout = 5 * time.Second
+
+// TCP is a Transport over real TCP connections with length-prefixed
+// frames — the paper's prototype transport. Outbound connections are
+// established on demand and cached per destination.
+type TCP struct {
+	ln     net.Listener
+	frames chan *wire.Frame
+	done   chan struct{}
+
+	mu      sync.Mutex
+	conns   map[string]net.Conn
+	inbound map[net.Conn]struct{}
+	closing bool
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP listens on addr ("host:port"; ":0" picks a free port). The
+// transport's Addr is the listener's concrete address.
+func NewTCP(addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		ln:      ln,
+		frames:  make(chan *wire.Frame, 256),
+		done:    make(chan struct{}),
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.acceptLoop()
+	}()
+	return t, nil
+}
+
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closing {
+			t.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer func() {
+				t.mu.Lock()
+				delete(t.inbound, conn)
+				t.mu.Unlock()
+			}()
+			t.readLoop(conn)
+		}()
+	}
+}
+
+// readLoop decodes frames off one connection until error or shutdown.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxTCPFrame {
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		f, err := wire.DecodeFrame(buf)
+		if err != nil {
+			continue
+		}
+		select {
+		case t.frames <- f:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Addr implements Transport.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Send implements Transport.
+func (t *TCP) Send(to string, f *wire.Frame) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	b, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	msg := make([]byte, 4+len(b))
+	binary.BigEndian.PutUint32(msg[:4], uint32(len(b)))
+	copy(msg[4:], b)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := conn.Write(msg); err != nil {
+		delete(t.conns, to)
+		_ = conn.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+// conn returns a cached connection to the destination, dialing if needed.
+func (t *TCP) conn(to string) (net.Conn, error) {
+	t.mu.Lock()
+	c, ok := t.conns[to]
+	t.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	c, err := net.DialTimeout("tcp", to, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closing {
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		// Lost the race; keep the first connection.
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv() <-chan *wire.Frame { return t.frames }
+
+// Done implements Transport.
+func (t *TCP) Done() <-chan struct{} { return t.done }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		_ = t.ln.Close()
+		t.mu.Lock()
+		t.closing = true
+		for _, c := range t.conns {
+			_ = c.Close()
+		}
+		t.conns = make(map[string]net.Conn)
+		for c := range t.inbound {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package transport abstracts message delivery for the protocol stack.
+// The same area-controller, member, and registration-server code runs over
+// the in-process simulated network (partitions, latency, crashes — see
+// internal/simnet) or over real TCP, which is what the paper's prototype
+// used between controllers.
+package transport
+
+import (
+	"errors"
+
+	"mykil/internal/wire"
+)
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport sends and receives wire frames. Send is best-effort: a nil
+// error means the frame was handed to the network, not that it arrived.
+// Implementations must be safe for concurrent use.
+type Transport interface {
+	// Addr returns this endpoint's address, used by peers to reach it.
+	Addr() string
+	// Send encodes and transmits a frame to the given address.
+	Send(to string, f *wire.Frame) error
+	// Recv returns the channel of decoded incoming frames. The channel
+	// is never closed; select on Done for shutdown.
+	Recv() <-chan *wire.Frame
+	// Done is closed when the transport shuts down.
+	Done() <-chan struct{}
+	// Close releases resources. Safe to call more than once.
+	Close() error
+}

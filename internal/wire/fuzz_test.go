@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzDecodeFrame hardens the transport-facing decoder: arbitrary bytes
+// must produce an error or a valid frame, never a panic.
+func FuzzDecodeFrame(f *testing.F) {
+	valid, err := (&Frame{Kind: KindData, From: "x", Body: []byte("b"), Sig: []byte("s")}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(make([]byte, 1024))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeFrame(data)
+		if err == nil && frame.Kind == 0 {
+			t.Error("decoded frame with zero kind")
+		}
+	})
+}
+
+// FuzzDecodePlain hardens the body decoder against hostile payloads.
+func FuzzDecodePlain(f *testing.F) {
+	valid, err := PlainBody(KeyUpdate{AreaID: "a", Epoch: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("x"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var u KeyUpdate
+		_ = DecodePlain(data, &u) // must not panic
+	})
+}

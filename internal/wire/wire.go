@@ -1,0 +1,459 @@
+// Package wire defines Mykil's message formats: the seven join-protocol
+// steps (paper Fig. 3), the six rejoin steps (Fig. 7), multicast data and
+// rekey messages, failure-detection alive messages, area-tree maintenance,
+// and primary-backup replication traffic.
+//
+// Every transport payload is a Frame: a message kind, the sender address,
+// a body, and an optional RSA signature over the body. Confidential bodies
+// are produced with SealBody (public-key hybrid encryption over the gob
+// encoding plus an integrity digest — the paper's "MAC computed over the
+// first N pieces of information"); non-confidential bodies use PlainBody.
+package wire
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"mykil/internal/crypt"
+	"mykil/internal/keytree"
+)
+
+// Kind discriminates frame payload types.
+type Kind uint8
+
+// Frame kinds. Values are wire-stable; append only.
+const (
+	// Join protocol, paper Fig. 3.
+	KindJoinRequest   Kind = iota + 1 // step 1, client -> registration server
+	KindJoinChallenge                 // step 2, RS -> client
+	KindJoinResponse                  // step 3, client -> RS
+	KindJoinRefer                     // step 4, RS -> area controller
+	KindJoinGrant                     // step 5, RS -> client
+	KindJoinToAC                      // step 6, client -> AC
+	KindJoinWelcome                   // step 7, AC -> client
+	KindJoinDenied                    // refusal at any step
+
+	// Rejoin protocol, paper Fig. 7.
+	KindRejoinRequest    // step 1, client -> new AC
+	KindRejoinChallenge  // step 2, AC -> client
+	KindRejoinResponse   // step 3, client -> AC
+	KindRejoinVerifyReq  // step 4, new AC -> old AC
+	KindRejoinVerifyResp // step 5, old AC -> new AC
+	KindRejoinWelcome    // step 6, AC -> client
+	KindRejoinDenied     // refusal
+
+	// Data and key management, §III.
+	KindData       // encrypted multicast data
+	KindKeyUpdate  // multicast rekey message (signed by the AC)
+	KindPathUpdate // unicast fresh path keys (displacement/recovery)
+
+	// Failure detection, §IV-A.
+	KindACAlive     // AC -> area members on idle
+	KindMemberAlive // member -> AC on inactivity
+	KindLeaveNotice // member -> AC voluntary leave
+	KindPathRequest // member -> AC: resend my path keys (epoch gap recovery)
+
+	// Area-tree maintenance, §IV-C.
+	KindAreaJoinReq    // orphaned AC -> candidate parent AC
+	KindAreaJoinAck    // parent AC -> child AC
+	KindAreaJoinDenied // refusal
+
+	// Primary-backup replication, §IV-C.
+	KindReplicaSync      // primary -> backup state snapshot
+	KindReplicaHeartbeat // primary -> backup liveness
+	KindACFailover       // backup -> area on takeover
+)
+
+var kindNames = map[Kind]string{
+	KindJoinRequest:      "JoinRequest",
+	KindJoinChallenge:    "JoinChallenge",
+	KindJoinResponse:     "JoinResponse",
+	KindJoinRefer:        "JoinRefer",
+	KindJoinGrant:        "JoinGrant",
+	KindJoinToAC:         "JoinToAC",
+	KindJoinWelcome:      "JoinWelcome",
+	KindJoinDenied:       "JoinDenied",
+	KindRejoinRequest:    "RejoinRequest",
+	KindRejoinChallenge:  "RejoinChallenge",
+	KindRejoinResponse:   "RejoinResponse",
+	KindRejoinVerifyReq:  "RejoinVerifyReq",
+	KindRejoinVerifyResp: "RejoinVerifyResp",
+	KindRejoinWelcome:    "RejoinWelcome",
+	KindRejoinDenied:     "RejoinDenied",
+	KindData:             "Data",
+	KindKeyUpdate:        "KeyUpdate",
+	KindPathUpdate:       "PathUpdate",
+	KindACAlive:          "ACAlive",
+	KindMemberAlive:      "MemberAlive",
+	KindLeaveNotice:      "LeaveNotice",
+	KindPathRequest:      "PathRequest",
+	KindAreaJoinReq:      "AreaJoinReq",
+	KindAreaJoinAck:      "AreaJoinAck",
+	KindAreaJoinDenied:   "AreaJoinDenied",
+	KindReplicaSync:      "ReplicaSync",
+	KindReplicaHeartbeat: "ReplicaHeartbeat",
+	KindACFailover:       "ACFailover",
+}
+
+// String returns the kind's protocol name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Errors returned by this package.
+var (
+	ErrBadFrame  = errors.New("wire: malformed frame")
+	ErrBadBody   = errors.New("wire: body does not decode")
+	ErrBadDigest = errors.New("wire: body integrity digest mismatch")
+)
+
+// Frame is the unit handed to the transport.
+type Frame struct {
+	Kind Kind
+	From string // sender's transport address
+	Body []byte
+	Sig  []byte // optional RSA signature over Body
+}
+
+// Encode serializes the frame.
+func (f *Frame) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("wire: encoding frame: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame reverses Frame.Encode.
+func DecodeFrame(b []byte) (*Frame, error) {
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if f.Kind == 0 {
+		return nil, fmt.Errorf("%w: zero kind", ErrBadFrame)
+	}
+	return &f, nil
+}
+
+// PlainBody gob-encodes a message struct for use as an unencrypted frame
+// body.
+func PlainBody(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encoding body: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePlain reverses PlainBody.
+func DecodePlain(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBody, err)
+	}
+	return nil
+}
+
+// SealBody encrypts a message struct to a recipient public key, prefixing
+// the plaintext with a SHA-256 digest — the paper's in-message MAC. Large
+// bodies automatically use the one-time-key hybrid path (§V-D).
+func SealBody(to crypt.PublicKey, v any) ([]byte, error) {
+	payload, err := PlainBody(v)
+	if err != nil {
+		return nil, err
+	}
+	digest := sha256.Sum256(payload)
+	blob := make([]byte, 0, len(digest)+len(payload))
+	blob = append(blob, digest[:]...)
+	blob = append(blob, payload...)
+	return to.Encrypt(blob)
+}
+
+// OpenBody decrypts and integrity-checks a SealBody blob into v.
+func OpenBody(kp *crypt.KeyPair, blob []byte, v any) error {
+	pt, err := kp.Decrypt(blob)
+	if err != nil {
+		return err
+	}
+	if len(pt) < sha256.Size {
+		return ErrBadDigest
+	}
+	digest := sha256.Sum256(pt[sha256.Size:])
+	if !bytes.Equal(digest[:], pt[:sha256.Size]) {
+		return ErrBadDigest
+	}
+	return DecodePlain(pt[sha256.Size:], v)
+}
+
+// ACInfo describes one area controller: the directory entry members use
+// to find rejoin targets while mobile (§IV-B: "the registration server
+// provide[s] a list of all area controllers' addresses and public keys").
+type ACInfo struct {
+	ID     string
+	Addr   string
+	PubDER []byte
+}
+
+// ---- Join protocol (Fig. 3) ----
+
+// JoinRequest is step 1: {auth-info; Pub_k; Nonce_CW; MAC}_Pub_rs.
+type JoinRequest struct {
+	AuthInfo   string
+	ClientID   string
+	ClientAddr string
+	ClientPub  []byte // DER
+	NonceCW    uint64
+}
+
+// JoinChallenge is step 2: {Nonce_CW+1; Nonce_WC; MAC}_Pub_k.
+type JoinChallenge struct {
+	NonceCWPlus1 uint64
+	NonceWC      uint64
+}
+
+// JoinResponse is step 3: {Nonce_WC+1; MAC}_Pub_rs.
+type JoinResponse struct {
+	ClientID     string
+	NonceWCPlus1 uint64
+}
+
+// JoinRefer is step 4, RS to AC: {Nonce_AC; K_id; ts; Pub_k; MAC}_Pub_ac,
+// signed Prv_rs.
+type JoinRefer struct {
+	NonceAC    uint64
+	ClientID   string
+	ClientAddr string
+	Timestamp  time.Time
+	ClientPub  []byte // DER
+	// Duration is the membership period the registration server granted;
+	// the AC stamps it into the ticket's validity window.
+	Duration time.Duration
+}
+
+// JoinGrant is step 5, RS to client: {Nonce_AC+1; Pub_AC; MAC}_Pub_k,
+// signed Prv_rs. Directory carries all controllers for later rejoins.
+type JoinGrant struct {
+	NonceACPlus1 uint64
+	AC           ACInfo
+	Directory    []ACInfo
+}
+
+// JoinToAC is step 6, client to AC: {Nonce_AC+2; Nonce_CA; MAC}_Pub_ac.
+type JoinToAC struct {
+	ClientID     string
+	ClientAddr   string
+	NonceACPlus2 uint64
+	NonceCA      uint64
+}
+
+// JoinWelcome is step 7, AC to client:
+// {Nonce_CA+1; ticket; [aux-keys]; MAC}_Pub_k.
+type JoinWelcome struct {
+	NonceCAPlus1 uint64
+	TicketBlob   []byte
+	Path         []keytree.PathKey
+	Epoch        uint64
+	AreaID       string
+	// Backup lets members recognize a legitimate failover (§IV-C).
+	BackupAddr string
+	BackupPub  []byte // DER
+}
+
+// JoinDenied refuses a join at any step.
+type JoinDenied struct {
+	ClientID string
+	Reason   string
+}
+
+// ---- Rejoin protocol (Fig. 7) ----
+
+// RejoinRequest is step 1: {Nonce_CB; ticket; MAC}_Pub_ac_b.
+type RejoinRequest struct {
+	ClientID   string
+	ClientAddr string
+	NonceCB    uint64
+	TicketBlob []byte
+}
+
+// RejoinChallenge is step 2: {Nonce_CB+1; Nonce_BC; MAC}_Pub_k.
+type RejoinChallenge struct {
+	NonceCBPlus1 uint64
+	NonceBC      uint64
+}
+
+// RejoinResponse is step 3: {Nonce_BC+1; MAC}_Pub_ac_b.
+type RejoinResponse struct {
+	ClientID     string
+	NonceBCPlus1 uint64
+}
+
+// RejoinVerifyReq is step 4, new AC to old AC: {K_id; ts; MAC}_Pub_ac_a,
+// signed Prv_ac_b — the anti-cohort check.
+type RejoinVerifyReq struct {
+	ClientID  string
+	Timestamp time.Time
+}
+
+// RejoinVerifyResp is step 5, old AC to new AC:
+// {ticket; ts; MAC}_Pub_ac_b, signed Prv_ac_a.
+type RejoinVerifyResp struct {
+	ClientID string
+	// StillMember is true when the client has not left the old area —
+	// the malicious-cohort signal; the new AC must deny the rejoin.
+	StillMember bool
+	TicketBlob  []byte
+	Timestamp   time.Time
+}
+
+// RejoinWelcome is step 6: {ticket; [aux-keys]; MAC}_Pub_k, signed
+// Prv_ac_b.
+type RejoinWelcome struct {
+	TicketBlob []byte
+	Path       []keytree.PathKey
+	Epoch      uint64
+	AreaID     string
+	BackupAddr string
+	BackupPub  []byte
+}
+
+// RejoinDenied refuses a rejoin.
+type RejoinDenied struct {
+	ClientID string
+	Reason   string
+}
+
+// ---- Data and key management (§III) ----
+
+// DataCipher selects the bulk cipher protecting a Data payload.
+type DataCipher uint8
+
+const (
+	// CipherAES is authenticated AES-CTR+HMAC (crypt.Seal), the default.
+	CipherAES DataCipher = iota + 1
+	// CipherRC4 is the paper's §V-E hand-held data path: RC4 keystream,
+	// no per-payload authenticator. Confidentiality-only, kept for
+	// fidelity with the prototype's PDA experiments.
+	CipherRC4
+)
+
+// Data is one multicast data packet: payload encrypted under a random key
+// K_d, and K_d sealed under the area key of the area it is traversing. An
+// AC crossing an area boundary re-seals only EncKey (Iolus-style, Fig. 2),
+// so the cipher choice is end-to-end between members.
+type Data struct {
+	Origin     string // originating member
+	OriginArea string
+	Seq        uint64 // per-origin sequence, for dedup across forwarding
+	FromArea   string // area the frame is currently traversing
+	Cipher     DataCipher
+	EncKey     []byte // Seal(areaKey, K_d)
+	Payload    []byte // Cipher(K_d, data)
+}
+
+// KeyUpdate is the multicast rekey message. The frame carrying it is
+// signed with the area controller's private key (§III-E: "each key update
+// message is signed using the private key of the area controller").
+type KeyUpdate struct {
+	AreaID  string
+	Epoch   uint64
+	Entries []keytree.Entry
+}
+
+// PathUpdate delivers fresh path keys to a single member, sealed to its
+// public key: displacement during a split, or recovery after missed
+// epochs.
+type PathUpdate struct {
+	AreaID string
+	Epoch  uint64
+	Path   []keytree.PathKey
+}
+
+// ---- Failure detection (§IV-A) ----
+
+// ACAlive is multicast by an area controller within its area whenever it
+// has sent nothing for T_idle.
+type ACAlive struct {
+	AreaID string
+	Epoch  uint64
+}
+
+// MemberAlive is unicast by a member to its AC whenever it has sent
+// nothing for T_active.
+type MemberAlive struct {
+	MemberID string
+}
+
+// LeaveNotice is a voluntary departure announcement.
+type LeaveNotice struct {
+	MemberID string
+}
+
+// PathRequest asks the member's own AC to resend its path keys after the
+// member detected an epoch gap (e.g. a transiently lost rekey message).
+// The response is a PathUpdate sealed to the member's public key.
+type PathRequest struct {
+	MemberID string
+	Epoch    uint64 // the member's current (stale) epoch
+}
+
+// ---- Area-tree maintenance (§IV-C) ----
+
+// AreaJoinReq asks a candidate parent AC to adopt the sender's area:
+// {A_c identity; ts; MAC}_Pub_acp, signed by the orphan's private key.
+type AreaJoinReq struct {
+	ACID      string
+	ACAddr    string
+	AreaID    string
+	Timestamp time.Time
+}
+
+// AreaJoinAck admits the orphan AC as a member of the parent area,
+// delivering its leaf path in the parent's auxiliary tree.
+type AreaJoinAck struct {
+	ParentID     string
+	ParentAreaID string
+	Path         []keytree.PathKey
+	Epoch        uint64
+	Timestamp    time.Time
+}
+
+// AreaJoinDenied refuses an area join.
+type AreaJoinDenied struct {
+	ACID   string
+	Reason string
+}
+
+// ---- Replication (§IV-C) ----
+
+// ReplicaSync carries the primary's minimal replicated state: the
+// auxiliary tree, member public keys, and the parent/child controller
+// identities. State is pre-encoded by the area package.
+type ReplicaSync struct {
+	AreaID string
+	Seq    uint64
+	State  []byte
+}
+
+// ReplicaHeartbeat is the primary's periodic liveness signal to its
+// backup.
+type ReplicaHeartbeat struct {
+	AreaID string
+	Seq    uint64
+}
+
+// ACFailover announces that the backup has taken over the area. Members
+// verify the frame signature against the backup public key learned at
+// join.
+type ACFailover struct {
+	AreaID  string
+	NewAddr string
+	NewPub  []byte // DER
+	Epoch   uint64
+}
