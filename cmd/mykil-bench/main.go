@@ -10,7 +10,7 @@
 //	mykil-bench -exp joinlat -rsabits 2048 -latency 2ms -iters 5
 //
 // Experiments: storage cpu fig8 fig9 fig10 joinlat protocost rc4 batching
-// arity prune flush model all. Add -csv for machine-readable output.
+// arity prune flush model fanout all. Add -csv for machine-readable output.
 package main
 
 import (
@@ -28,7 +28,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|all")
+		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|all")
 		n       = flag.Int("n", bench.PaperGroupSize, "group size")
 		arity   = flag.Int("arity", bench.PaperArity, "auxiliary-key-tree arity (paper's byte arithmetic: 2)")
 		rsaBits = flag.Int("rsabits", 2048, "RSA modulus bits for the latency experiment")
@@ -189,6 +189,16 @@ func run() int {
 		}
 		printTable(bench.ModelTable(rows, *n, *n/bench.PaperAreaSize, *arity))
 		verdict(bench.ModelMatches(rows), "closed-form §V arithmetic = measured structures")
+		return nil
+	})
+
+	runExp("fanout", func() error {
+		r, err := bench.CryptoFanout(0, 0, 0, 0, nil)
+		if err != nil {
+			return err
+		}
+		printTable(r.Table())
+		fmt.Println()
 		return nil
 	})
 

@@ -16,6 +16,7 @@ import (
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/node"
 	"mykil/internal/stats"
 	"mykil/internal/ticket"
 	"mykil/internal/transport"
@@ -110,6 +111,11 @@ type Config struct {
 	// §III-E's second rekeying condition ("preserves the freshness of
 	// the area key"). Zero disables unconditional rotation.
 	FreshnessInterval time.Duration
+	// DataWorkers sizes the data-plane worker pool that fans per-packet
+	// re-encryption and per-member rekey/welcome crypto out across cores;
+	// zero means runtime.GOMAXPROCS(0). The control plane (protocol
+	// state) stays single-threaded regardless.
+	DataWorkers int
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -242,10 +248,13 @@ type Controller struct {
 
 	stats stats.Registry
 
-	commands chan func()
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	// Control plane: the event loop that owns all state above.
+	loop *node.Loop
+	// Data plane: bounded workers for packet re-encryption and rekey
+	// crypto, with an ordered pipeline sequencing sends back to the wire.
+	pool      *node.Pool
+	dp        *node.Pipeline[[]outbound]
+	closeOnce sync.Once
 }
 
 // Counter names in a controller's stats registry.
@@ -277,15 +286,26 @@ func New(cfg Config) (*Controller, error) {
 	c := &Controller{
 		cfg:            cfg,
 		clk:            cfg.Clock,
-		tree:           keytree.New(keytree.Config{Arity: cfg.TreeArity}),
 		members:        make(map[string]*memberEntry),
 		joinSessions:   make(map[string]*joinSession),
 		rejoinSessions: make(map[string]*rejoinSession),
 		parkedStep6:    make(map[string]*parkedJoin),
 		seenSeq:        make(map[string]uint64),
-		commands:       make(chan func(), 64),
-		stop:           make(chan struct{}),
 	}
+	c.pool = node.NewPool(cfg.DataWorkers)
+	c.dp = node.NewPipeline(c.pool, 0, c.deliver)
+	c.tree = keytree.New(keytree.Config{Arity: cfg.TreeArity, Parallel: c.treeParallel})
+	c.loop = node.New(node.Config{
+		Name:          cfg.ID,
+		Transport:     cfg.Transport,
+		Clock:         c.clk,
+		TickEvery:     c.minTick(),
+		OnFrame:       c.handleFrame,
+		OnTick:        c.housekeeping,
+		Stats:         &c.stats,
+		CommandBuffer: 64,
+		Logf:          cfg.Logf,
+	})
 	now := c.clk.Now()
 	c.lastAreaSend = now
 	c.lastRekey = now
@@ -295,47 +315,35 @@ func New(cfg Config) (*Controller, error) {
 // Start launches the controller loop and, if a parent is configured,
 // initiates the area join toward it.
 func (c *Controller) Start() {
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		c.run()
-	}()
+	c.loop.Start()
 	if c.cfg.Parent != nil {
 		parent := *c.cfg.Parent
 		c.enqueue(func() { c.requestParent(parent) })
 	}
 }
 
-// Close stops the controller loop. The transport is the caller's to
-// close.
+// Close stops the controller loop, then drains and stops the data plane.
+// The transport is the caller's to close.
 func (c *Controller) Close() {
-	c.stopOnce.Do(func() { close(c.stop) })
-	c.wg.Wait()
+	c.loop.Close()
+	c.closeOnce.Do(func() {
+		c.dp.Close()
+		c.pool.Close()
+	})
 }
 
-// enqueue hands fn to the run loop, dropping it if the controller has
-// stopped.
+// enqueue hands fn to the run loop. Commands lost because the controller
+// has stopped are counted under node.StatDrops and logged.
 func (c *Controller) enqueue(fn func()) {
-	select {
-	case c.commands <- fn:
-	case <-c.stop:
-	}
+	_ = c.loop.Enqueue(fn)
 }
 
 // call runs fn on the loop and waits for completion.
 func (c *Controller) call(fn func()) error {
-	done := make(chan struct{})
-	select {
-	case c.commands <- func() { fn(); close(done) }:
-	case <-c.stop:
+	if err := c.loop.Call(fn); err != nil {
 		return ErrStopped
 	}
-	select {
-	case <-done:
-		return nil
-	case <-c.stop:
-		return ErrStopped
-	}
+	return nil
 }
 
 // NumMembers reports the current area membership count.
@@ -392,27 +400,9 @@ func (c *Controller) PendingEvents() int {
 }
 
 // Stats exposes the controller's operation counters (concurrency-safe).
+// Besides the ac.* protocol counters it carries the node.* loop counters,
+// including node.drops: commands lost because the controller had stopped.
 func (c *Controller) Stats() *stats.Registry { return &c.stats }
-
-// run is the controller's single event loop.
-func (c *Controller) run() {
-	housekeep := c.clk.NewTicker(c.minTick())
-	defer housekeep.Stop()
-	for {
-		select {
-		case f := <-c.cfg.Transport.Recv():
-			c.handleFrame(f)
-		case fn := <-c.commands:
-			fn()
-		case <-housekeep.C():
-			c.housekeeping()
-		case <-c.cfg.Transport.Done():
-			return
-		case <-c.stop:
-			return
-		}
-	}
-}
 
 // minTick picks the housekeeping granularity: fine enough to honor the
 // shortest configured period.

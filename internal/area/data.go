@@ -26,6 +26,10 @@ func (c *Controller) flush() {
 // leaves, then sends: step-7/step-6 welcomes to joiners, fresh paths to
 // displaced members, and the signed rekey multicast to everyone else.
 func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
+	// Drain in-flight data-plane jobs first: data sealed under the
+	// outgoing area key must reach the wire before the key update does.
+	c.dataBarrier()
+
 	joinIDs := make([]keytree.MemberID, 0, len(joins))
 	for _, p := range joins {
 		joinIDs = append(joinIDs, keytree.MemberID(p.entry.id))
@@ -61,43 +65,57 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 		c.members[p.entry.id] = p.entry
 	}
 
-	// Unicast welcomes to joiners (join step 7 / rejoin step 6).
+	// Unicast welcomes to joiners (join step 7 / rejoin step 6) and fresh
+	// paths to members displaced by splits (§III-C). The per-member RSA
+	// sealing — the dominant cost of a large batch — fans out across the
+	// worker pool; sends happen in order afterwards.
+	jobs := make([]sealJob, 0, len(joins)+len(res.Displaced))
 	for _, p := range joins {
 		path := res.Joined[keytree.MemberID(p.entry.id)]
 		if p.rejoin {
-			c.sendSealed(p.entry.addr, p.entry.pub, wire.KindRejoinWelcome, wire.RejoinWelcome{
-				TicketBlob: p.entry.ticketBlob,
-				Path:       path,
-				Epoch:      res.Epoch,
-				AreaID:     c.cfg.AreaID,
-				BackupAddr: c.backupAddr(),
-				BackupPub:  c.backupPubDER(),
-			}, true)
+			jobs = append(jobs, sealJob{
+				addr: p.entry.addr, to: p.entry.pub, kind: wire.KindRejoinWelcome,
+				body: wire.RejoinWelcome{
+					TicketBlob: p.entry.ticketBlob,
+					Path:       path,
+					Epoch:      res.Epoch,
+					AreaID:     c.cfg.AreaID,
+					BackupAddr: c.backupAddr(),
+					BackupPub:  c.backupPubDER(),
+				},
+				sign: true,
+			})
 		} else {
-			c.sendSealed(p.entry.addr, p.entry.pub, wire.KindJoinWelcome, wire.JoinWelcome{
-				NonceCAPlus1: p.nonceCA + 1,
-				TicketBlob:   p.entry.ticketBlob,
-				Path:         path,
-				Epoch:        res.Epoch,
-				AreaID:       c.cfg.AreaID,
-				BackupAddr:   c.backupAddr(),
-				BackupPub:    c.backupPubDER(),
-			}, false)
+			jobs = append(jobs, sealJob{
+				addr: p.entry.addr, to: p.entry.pub, kind: wire.KindJoinWelcome,
+				body: wire.JoinWelcome{
+					NonceCAPlus1: p.nonceCA + 1,
+					TicketBlob:   p.entry.ticketBlob,
+					Path:         path,
+					Epoch:        res.Epoch,
+					AreaID:       c.cfg.AreaID,
+					BackupAddr:   c.backupAddr(),
+					BackupPub:    c.backupPubDER(),
+				},
+			})
 		}
 	}
-
-	// Unicast fresh paths to members displaced by splits (§III-C).
 	for m, path := range res.Displaced {
 		entry, ok := c.members[string(m)]
 		if !ok {
 			continue
 		}
-		c.sendSealed(entry.addr, entry.pub, wire.KindPathUpdate, wire.PathUpdate{
-			AreaID: c.cfg.AreaID,
-			Epoch:  res.Epoch,
-			Path:   path,
-		}, true)
+		jobs = append(jobs, sealJob{
+			addr: entry.addr, to: entry.pub, kind: wire.KindPathUpdate,
+			body: wire.PathUpdate{
+				AreaID: c.cfg.AreaID,
+				Epoch:  res.Epoch,
+				Path:   path,
+			},
+			sign: true,
+		})
 	}
+	c.sealSends(jobs)
 
 	// Multicast the signed rekey message to remaining members (§III-E:
 	// "each key update message is signed using the private key of the
@@ -146,6 +164,7 @@ func (c *Controller) multicastKeyUpdate(res *keytree.BatchResult, joins []pendin
 // freshnessRekey rotates the area key with no membership change (§III-E
 // condition 2).
 func (c *Controller) freshnessRekey() {
+	c.dataBarrier()
 	oldAreaKey := c.tree.AreaKey()
 	res := c.tree.RefreshAreaKey()
 	c.rememberAreaKey(oldAreaKey)
@@ -182,94 +201,120 @@ func (c *Controller) handleData(f *wire.Frame) {
 
 	switch d.FromArea {
 	case c.cfg.AreaID:
-		// From one of our members (or a child controller injecting into
-		// our area): relay within the area and forward up. If the sender
-		// sealed with an area key we have since rotated (its rekey was
-		// still in flight), recover and re-seal under the current key.
-		dataKey, stale, err := c.openAreaDataKey(d.EncKey)
-		if err != nil {
-			c.cfg.Logf("%s: undecipherable data from %s dropped", c.cfg.ID, d.Origin)
-			return
-		}
-		if stale {
-			d.EncKey = crypt.Seal(c.tree.AreaKey(), dataKey[:])
-		}
-		c.relayToMembers(&d, f.From)
-		c.forwardUp(&d, dataKey)
+		c.relayOwnAreaData(d, f.From)
 	case c.parentAreaID():
-		// From our parent's area: re-seal under our area key and relay
-		// down into our area.
 		if c.parent != nil {
 			c.parent.lastRecv = c.clk.Now()
 		}
-		reseal, err := c.resealData(&d)
-		if err != nil {
-			c.cfg.Logf("%s: resealing data from parent area: %v", c.cfg.ID, err)
-			return
-		}
-		c.relayToMembers(reseal, f.From)
+		c.relayParentData(d, f.From)
 	default:
 		c.cfg.Logf("%s: data for foreign area %q dropped", c.cfg.ID, d.FromArea)
 	}
 }
 
-// relayToMembers sends the data frame to every area member except the one
-// it arrived from.
-func (c *Controller) relayToMembers(d *wire.Data, exceptAddr string) {
-	body, err := wire.PlainBody(*d)
-	if err != nil {
+// relayOwnAreaData handles a packet from one of our members (or a child
+// controller injecting into our area): relay within the area and forward
+// up (Fig. 2). The loop snapshots key material and destinations; the
+// crypto and encoding run as one ordered data-plane job.
+func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
+	areaKey := c.tree.AreaKey()
+	history := append([]crypt.SymKey(nil), c.areaKeyHistory...)
+	dests := c.memberAddrsExcept(from)
+	var parentAddr, parentArea string
+	var parentKey crypt.SymKey
+	if c.parent != nil {
+		parentAddr = c.parent.info.Addr
+		parentArea = c.parent.areaID
+		parentKey = c.parent.view.AreaKey()
+		c.parent.lastSent = c.clk.Now()
+	}
+	c.lastAreaSend = c.clk.Now()
+	id, self, origin := c.cfg.ID, c.cfg.Transport.Addr(), d.Origin
+
+	c.submitData(func() []outbound {
+		// If the sender sealed with an area key we have since rotated
+		// (its rekey was still in flight), recover and re-seal under the
+		// current key.
+		dataKey, stale, err := openAreaDataKey(areaKey, history, d.EncKey)
+		if err != nil {
+			c.cfg.Logf("%s: undecipherable data from %s dropped", id, origin)
+			return nil
+		}
+		if stale {
+			d.EncKey = crypt.Seal(areaKey, dataKey[:])
+		}
+		var out []outbound
+		if body, err := wire.PlainBody(d); err == nil {
+			relay := &wire.Frame{Kind: wire.KindData, From: self, Body: body}
+			for _, addr := range dests {
+				out = append(out, outbound{addr, relay})
+			}
+			c.stats.Add(StatDataRelayed, 1)
+		}
+		if parentAddr != "" {
+			up := d
+			up.FromArea = parentArea
+			up.EncKey = crypt.Seal(parentKey, dataKey[:])
+			if body, err := wire.PlainBody(up); err == nil {
+				out = append(out, outbound{parentAddr, &wire.Frame{Kind: wire.KindData, From: self, Body: body}})
+				c.stats.Add(StatDataForwarded, 1)
+			}
+		}
+		return out
+	})
+}
+
+// relayParentData handles a packet arriving from the parent's area:
+// re-seal the data key under our own area key and relay down (Fig. 2).
+func (c *Controller) relayParentData(d wire.Data, from string) {
+	if c.parent == nil {
 		return
 	}
-	f := &wire.Frame{Kind: wire.KindData, From: c.cfg.Transport.Addr(), Body: body}
+	parentKey := c.parent.view.AreaKey()
+	areaKey := c.tree.AreaKey()
+	areaID := c.cfg.AreaID
+	dests := c.memberAddrsExcept(from)
+	c.lastAreaSend = c.clk.Now()
+	id, self := c.cfg.ID, c.cfg.Transport.Addr()
+
+	c.submitData(func() []outbound {
+		raw, err := crypt.Open(parentKey, d.EncKey)
+		if err == nil {
+			var dataKey crypt.SymKey
+			if dataKey, err = crypt.SymKeyFromBytes(raw); err == nil {
+				d.FromArea = areaID
+				d.EncKey = crypt.Seal(areaKey, dataKey[:])
+			}
+		}
+		if err != nil {
+			c.cfg.Logf("%s: resealing data from parent area: %v", id, err)
+			return nil
+		}
+		body, err := wire.PlainBody(d)
+		if err != nil {
+			return nil
+		}
+		relay := &wire.Frame{Kind: wire.KindData, From: self, Body: body}
+		out := make([]outbound, 0, len(dests))
+		for _, addr := range dests {
+			out = append(out, outbound{addr, relay})
+		}
+		c.stats.Add(StatDataRelayed, 1)
+		return out
+	})
+}
+
+// memberAddrsExcept snapshots every member address except the frame's
+// sender — the relay destinations for one data packet.
+func (c *Controller) memberAddrsExcept(exceptAddr string) []string {
+	out := make([]string, 0, len(c.members))
 	for _, entry := range c.members {
 		if entry.addr == exceptAddr {
 			continue
 		}
-		c.send(entry.addr, f)
+		out = append(out, entry.addr)
 	}
-	c.stats.Add(StatDataRelayed, 1)
-	c.lastAreaSend = c.clk.Now()
-}
-
-// forwardUp re-seals the data key under the parent's area key and sends
-// it to the parent controller.
-func (c *Controller) forwardUp(d *wire.Data, dataKey crypt.SymKey) {
-	if c.parent == nil {
-		return
-	}
-	up := *d
-	up.FromArea = c.parent.areaID
-	up.EncKey = crypt.Seal(c.parent.view.AreaKey(), dataKey[:])
-	body, err := wire.PlainBody(up)
-	if err != nil {
-		return
-	}
-	c.send(c.parent.info.Addr, &wire.Frame{
-		Kind: wire.KindData,
-		From: c.cfg.Transport.Addr(),
-		Body: body,
-	})
-	c.stats.Add(StatDataForwarded, 1)
-	c.parent.lastSent = c.clk.Now()
-}
-
-// resealData rewraps a parent-area data packet for our own area.
-func (c *Controller) resealData(d *wire.Data) (*wire.Data, error) {
-	if c.parent == nil {
-		return nil, crypt.ErrDecrypt
-	}
-	raw, err := crypt.Open(c.parent.view.AreaKey(), d.EncKey)
-	if err != nil {
-		return nil, err
-	}
-	dataKey, err := crypt.SymKeyFromBytes(raw)
-	if err != nil {
-		return nil, err
-	}
-	down := *d
-	down.FromArea = c.cfg.AreaID
-	down.EncKey = crypt.Seal(c.tree.AreaKey(), dataKey[:])
-	return &down, nil
+	return out
 }
 
 // areaKeyHistoryCap bounds how many rotated-out area keys are kept for
@@ -286,13 +331,14 @@ func (c *Controller) rememberAreaKey(k crypt.SymKey) {
 
 // openAreaDataKey recovers K_d from an own-area data packet, trying the
 // current area key first and then recent predecessors. stale reports
-// whether an old key was needed.
-func (c *Controller) openAreaDataKey(encKey []byte) (key crypt.SymKey, stale bool, err error) {
-	if raw, err := crypt.Open(c.tree.AreaKey(), encKey); err == nil {
+// whether an old key was needed. A pure function so data-plane workers
+// can run it on loop-snapshotted key material.
+func openAreaDataKey(current crypt.SymKey, history []crypt.SymKey, encKey []byte) (key crypt.SymKey, stale bool, err error) {
+	if raw, err := crypt.Open(current, encKey); err == nil {
 		k, kerr := crypt.SymKeyFromBytes(raw)
 		return k, false, kerr
 	}
-	for _, old := range c.areaKeyHistory {
+	for _, old := range history {
 		if raw, err := crypt.Open(old, encKey); err == nil {
 			k, kerr := crypt.SymKeyFromBytes(raw)
 			return k, true, kerr

@@ -1,0 +1,91 @@
+package area
+
+import (
+	"mykil/internal/crypt"
+	"mykil/internal/wire"
+)
+
+// This file is the controller's data plane: CPU-heavy crypto and
+// encoding (Iolus-style data re-encryption, per-member RSA sealing,
+// keytree entry encryption) runs on a bounded worker pool, while the
+// control plane — the event loop — keeps sole ownership of protocol
+// state. The loop snapshots whatever key material and destination
+// addresses a job needs, submits the job, and the pipeline's drain
+// goroutine performs the sends in submission order, so per-destination
+// wire ordering is exactly what a serial controller would produce.
+
+// outbound is one frame the data plane wants on the wire.
+type outbound struct {
+	addr  string
+	frame *wire.Frame
+}
+
+// deliver sends one job's frames. Runs on the pipeline drain goroutine;
+// it may only touch the transport, stats, and Logf — all concurrency-safe.
+func (c *Controller) deliver(batch []outbound) {
+	for _, o := range batch {
+		c.send(o.addr, o.frame)
+	}
+}
+
+// submitData schedules one data-plane job (loop context). Its sends
+// happen after every earlier job's and before every later one's.
+func (c *Controller) submitData(job func() []outbound) {
+	c.dp.Submit(job)
+}
+
+// dataBarrier blocks the loop until every in-flight data-plane job has
+// been sent (loop context). Called before a rekey is applied so data
+// sealed under the outgoing area key cannot overtake the key update on
+// the wire — members would otherwise receive undecipherable packets.
+func (c *Controller) dataBarrier() {
+	c.dp.Barrier()
+}
+
+// treeParallel adapts the worker pool to keytree.Config.Parallel, fanning
+// per-entry key encryption of large rekey updates across cores.
+func (c *Controller) treeParallel(n int, task func(i int)) {
+	c.pool.Map(n, task)
+}
+
+// sealJob is one sealed unicast to produce: welcome, path update, or any
+// other per-member RSA-sealed body.
+type sealJob struct {
+	addr string
+	to   crypt.PublicKey
+	kind wire.Kind
+	body any
+	sign bool
+}
+
+// sealSends seals (and optionally signs) each job on the worker pool —
+// RSA encrypt and sign are the dominant per-member batch cost — then
+// sends the frames in job order from the loop (loop context).
+func (c *Controller) sealSends(jobs []sealJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	frames := make([]*wire.Frame, len(jobs))
+	errs := make([]error, len(jobs))
+	self := c.cfg.Transport.Addr()
+	c.pool.Map(len(jobs), func(i int) {
+		j := jobs[i]
+		blob, err := wire.SealBody(j.to, j.body)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		f := &wire.Frame{Kind: j.kind, From: self, Body: blob}
+		if j.sign {
+			f.Sig = c.cfg.Keys.Sign(blob)
+		}
+		frames[i] = f
+	})
+	for i, f := range frames {
+		if f == nil {
+			c.cfg.Logf("%s: sealing %v: %v", c.cfg.ID, jobs[i].kind, errs[i])
+			continue
+		}
+		c.send(jobs[i].addr, f)
+	}
+}

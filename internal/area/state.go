@@ -107,8 +107,9 @@ func NewFromState(cfg Config, st *State) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := keytree.Import(st.Tree, keytree.Config{})
+	tree, err := keytree.Import(st.Tree, keytree.Config{Parallel: c.treeParallel})
 	if err != nil {
+		c.Close()
 		return nil, fmt.Errorf("area: restoring tree: %w", err)
 	}
 	c.tree = tree
@@ -116,6 +117,7 @@ func NewFromState(cfg Config, st *State) (*Controller, error) {
 	for _, m := range st.Members {
 		pub, err := crypt.ParsePublicKey(m.PubDER)
 		if err != nil {
+			c.Close()
 			return nil, fmt.Errorf("area: member %s key: %w", m.ID, err)
 		}
 		c.members[m.ID] = &memberEntry{
@@ -131,6 +133,7 @@ func NewFromState(cfg Config, st *State) (*Controller, error) {
 	if st.Parent != nil {
 		pub, err := crypt.ParsePublicKey(st.Parent.PubDER)
 		if err != nil {
+			c.Close()
 			return nil, fmt.Errorf("area: parent key: %w", err)
 		}
 		c.parent = &parentState{

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"testing"
+
+	"mykil/internal/keytree"
+	"mykil/internal/node"
+)
+
+// TestCryptoFanoutSmoke runs the scaling experiment at a tiny size and
+// checks the result is well-formed.
+func TestCryptoFanoutSmoke(t *testing.T) {
+	r, err := CryptoFanout(256, 12, 128, 1, []int{1, 4})
+	if err != nil {
+		t.Fatalf("CryptoFanout: %v", err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.RekeyMs <= 0 || row.DataMBs <= 0 {
+			t.Fatalf("worker count %d: non-positive measurement %+v", row.Workers, row)
+		}
+	}
+	if r.Verdict == "" {
+		t.Fatal("missing verdict")
+	}
+	if r.Rows[0].RekeySpeedup != 1 || r.Rows[0].DataSpeedup != 1 {
+		t.Fatalf("baseline row not normalized: %+v", r.Rows[0])
+	}
+	if r.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+// TestParallelUpdateDeterministic pins the property the controller
+// relies on when it fans entry encryption across the worker pool: the
+// update's structure (entry order, node/under pairs) is identical to a
+// serial build's, and every ciphertext lands in its own slot — checked
+// end-to-end by applying the fanned update to a member view, which only
+// converges to the tree's area key if no index was scrambled or lost.
+// (Ciphertext bytes are not comparable across builds: Batch consumes the
+// key generator in map-iteration order, so even two serial builds
+// differ.)
+func TestParallelUpdateDeterministic(t *testing.T) {
+	const (
+		population = 512
+		leavers    = 16
+	)
+	build := func(parallel func(n int, task func(i int))) (*keytree.Tree, *keytree.KeyUpdate, keytree.PathKeys) {
+		tr := keytree.New(keytree.Config{
+			Arity:     4,
+			Encryptor: keytree.AccountingEncryptor{},
+			KeyGen:    FastKeyGen(3),
+			Parallel:  parallel,
+		})
+		if err := tr.Preload(memberIDs(population)); err != nil {
+			t.Fatalf("Preload: %v", err)
+		}
+		gone := tr.SpreadMembers(leavers)
+		stay := keytree.MemberID("")
+		for _, m := range tr.Members() {
+			left := false
+			for _, g := range gone {
+				if g == m {
+					left = true
+					break
+				}
+			}
+			if !left {
+				stay = m
+				break
+			}
+		}
+		path, err := tr.PathKeys(stay)
+		if err != nil {
+			t.Fatalf("PathKeys(%s): %v", stay, err)
+		}
+		res, err := tr.BatchLeave(gone)
+		if err != nil {
+			t.Fatalf("BatchLeave: %v", err)
+		}
+		return tr, res.Update, path
+	}
+
+	_, serial, _ := build(nil)
+	pool := node.NewPool(4)
+	defer pool.Close()
+	tr, fanned, path := build(pool.Map)
+
+	if serial.Epoch != fanned.Epoch {
+		t.Fatalf("epoch mismatch: %d vs %d", serial.Epoch, fanned.Epoch)
+	}
+	if len(serial.Entries) != len(fanned.Entries) {
+		t.Fatalf("entry count mismatch: %d vs %d", len(serial.Entries), len(fanned.Entries))
+	}
+	if len(serial.Entries) < 8 {
+		t.Fatalf("batch too small to cross the parallel threshold: %d entries", len(serial.Entries))
+	}
+	for i := range serial.Entries {
+		s, f := serial.Entries[i], fanned.Entries[i]
+		if s.Node != f.Node || s.Under != f.Under {
+			t.Fatalf("entry %d structure differs: serial %+v fanned %+v", i, s, f)
+		}
+		if len(f.Ciphertext) == 0 {
+			t.Fatalf("entry %d: ciphertext never filled", i)
+		}
+	}
+
+	// A surviving member must decode the fanned update all the way to the
+	// new area key.
+	view := keytree.NewMemberView(path, fanned.Epoch-1, keytree.AccountingEncryptor{})
+	if _, err := view.Apply(fanned); err != nil {
+		t.Fatalf("applying fanned update: %v", err)
+	}
+	if view.AreaKey() != tr.AreaKey() {
+		t.Fatal("member view did not converge to the tree's area key")
+	}
+}

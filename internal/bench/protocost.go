@@ -50,6 +50,16 @@ func ProtocolCosts(rsaBits int) ([]ProtocolCostRow, error) {
 			net.Close()
 		}()
 
+		// Let the area tree finish assembling (ac-1 joining ac-0's area)
+		// before measuring, so setup traffic cannot race into the join
+		// window and inflate the counters by a frame or two.
+		for deadline := time.Now().Add(10 * time.Second); g.Controller(1).ParentID() == ""; {
+			if time.Now().After(deadline) {
+				return join, rejoin, fmt.Errorf("bench: area tree did not assemble")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
 		snap := func() (int64, int64) {
 			return net.Stats().Value(simnet.StatSentMsgs), net.Stats().Value(simnet.StatSentBytes)
 		}

@@ -46,6 +46,10 @@ type Config struct {
 	// SkipRejoinVerify omits rejoin steps 4-5 at every controller
 	// (§V-D's option-2 latency variant).
 	SkipRejoinVerify bool
+	// DataWorkers sizes each controller's data-plane worker pool (rekey
+	// entry encryption, welcome sealing, Iolus-style data re-encryption);
+	// zero means one worker per CPU, 1 is effectively serial.
+	DataWorkers int
 	// Clock drives all timers; nil means clock.Real. Use a clock.Fake
 	// to step failure detection deterministically.
 	Clock clock.Clock
@@ -228,6 +232,7 @@ func New(cfg Config) (*Group, error) {
 			TreeArity:        cfg.TreeArity,
 			Policy:           cfg.Policy,
 			SkipRejoinVerify: cfg.SkipRejoinVerify,
+			DataWorkers:      cfg.DataWorkers,
 			TIdle:            cfg.TIdle,
 			TActive:          cfg.TActive,
 			RekeyInterval:    cfg.RekeyInterval,
@@ -289,6 +294,7 @@ func New(cfg Config) (*Group, error) {
 					Batching:      cfg.Batching,
 					TreeArity:     cfg.TreeArity,
 					Policy:        cfg.Policy,
+					DataWorkers:   cfg.DataWorkers,
 					TIdle:         cfg.TIdle,
 					TActive:       cfg.TActive,
 					RekeyInterval: cfg.RekeyInterval,

@@ -621,6 +621,12 @@ func TestEpochGapRecovery(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	defer g.Close()
+	// Pre-generate keys so the partition below lasts only as long as the
+	// join handshakes: ma must stay under the 5×T_idle silence threshold
+	// (it has no AutoRejoin) or it would detach for good.
+	if err := g.WarmMemberKeys(6); err != nil {
+		t.Fatalf("WarmMemberKeys: %v", err)
+	}
 
 	ma, err := g.AddMember("ma", MemberConfig{})
 	if err != nil {

@@ -52,7 +52,18 @@ type Config struct {
 	// vacated leaves (cheap future joins); this flag exists for the
 	// ablation benchmark.
 	Prune bool
+	// Parallel, if set, runs n independent tasks (task(i) for i in
+	// [0,n)) concurrently and returns when all have completed. Large
+	// updates use it to fan per-entry key encryption out across cores;
+	// the Encryptor must then be safe for concurrent use (both provided
+	// implementations are). Nil means serial encryption.
+	Parallel func(n int, task func(i int))
 }
+
+// parallelUpdateMin is the entry count below which an update is encrypted
+// serially even when Config.Parallel is set: tiny batches are cheaper on
+// one core than the hand-off costs.
+const parallelUpdateMin = 8
 
 type node struct {
 	id       NodeID
@@ -632,7 +643,17 @@ func (t *Tree) buildUpdate(changed map[NodeID]*node, fresh map[NodeID]bool,
 		return nodes[i].id < nodes[j].id
 	})
 
+	// Two phases: collect every entry's structure and key pair first,
+	// then fill the ciphertexts — serially, or fanned out through
+	// Config.Parallel for large updates. The entry order is identical
+	// either way (it was fixed by the collection pass).
+	type encPair struct{ under, key crypt.SymKey }
 	u := &KeyUpdate{Epoch: t.epoch}
+	var pairs []encPair
+	add := func(nodeID, under NodeID, underKey, key crypt.SymKey) {
+		u.Entries = append(u.Entries, Entry{Node: nodeID, Under: under})
+		pairs = append(pairs, encPair{underKey, key})
+	}
 	for _, n := range nodes {
 		if fresh[n.id] {
 			// Newly created node: holders receive it by unicast only.
@@ -651,18 +672,20 @@ func (t *Tree) buildUpdate(changed map[NodeID]*node, fresh map[NodeID]bool,
 					// paths by unicast.
 					continue
 				}
-				u.Entries = append(u.Entries, Entry{
-					Node:       n.id,
-					Under:      c.id,
-					Ciphertext: t.cfg.Encryptor.EncryptKey(c.key, n.key),
-				})
+				add(n.id, c.id, c.key, n.key)
 			}
 		} else {
-			u.Entries = append(u.Entries, Entry{
-				Node:       n.id,
-				Under:      n.id,
-				Ciphertext: t.cfg.Encryptor.EncryptKey(oldKeys[n.id], n.key),
-			})
+			add(n.id, n.id, oldKeys[n.id], n.key)
+		}
+	}
+	encrypt := func(i int) {
+		u.Entries[i].Ciphertext = t.cfg.Encryptor.EncryptKey(pairs[i].under, pairs[i].key)
+	}
+	if t.cfg.Parallel != nil && len(pairs) >= parallelUpdateMin {
+		t.cfg.Parallel(len(pairs), encrypt)
+	} else {
+		for i := range pairs {
+			encrypt(i)
 		}
 	}
 	return u

@@ -9,12 +9,12 @@ package member
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/node"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -152,10 +152,7 @@ type Member struct {
 	received int64
 	rekeys   int64
 
-	commands chan func()
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	loop *node.Loop
 }
 
 // New validates the config and builds a member.
@@ -163,65 +160,40 @@ func New(cfg Config) (*Member, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	return &Member{
+	m := &Member{
 		cfg:             cfg,
 		clk:             cfg.Clock,
 		rejoinBlacklist: make(map[string]time.Time),
-		commands:        make(chan func(), 16),
-		stop:            make(chan struct{}),
-	}, nil
+	}
+	m.loop = node.New(node.Config{
+		Name:      cfg.ID,
+		Transport: cfg.Transport,
+		Clock:     cfg.Clock,
+		TickEvery: cfg.TIdle,
+		OnFrame:   m.handleFrame,
+		OnTick:    m.housekeeping,
+		OnExit:    func() { m.failOp(ErrStopped) },
+		Logf:      cfg.Logf,
+	})
+	return m, nil
 }
 
 // Start launches the member loop.
 func (m *Member) Start() {
-	m.wg.Add(1)
-	go func() {
-		defer m.wg.Done()
-		m.run()
-	}()
+	m.loop.Start()
 }
 
 // Close stops the member loop (the transport is the caller's).
 func (m *Member) Close() {
-	m.stopOnce.Do(func() { close(m.stop) })
-	m.wg.Wait()
-}
-
-func (m *Member) run() {
-	tick := m.clk.NewTicker(m.cfg.TIdle)
-	defer tick.Stop()
-	for {
-		select {
-		case f := <-m.cfg.Transport.Recv():
-			m.handleFrame(f)
-		case fn := <-m.commands:
-			fn()
-		case <-tick.C():
-			m.housekeeping()
-		case <-m.cfg.Transport.Done():
-			m.failOp(ErrStopped)
-			return
-		case <-m.stop:
-			m.failOp(ErrStopped)
-			return
-		}
-	}
+	m.loop.Close()
 }
 
 // call runs fn on the loop.
 func (m *Member) call(fn func()) error {
-	done := make(chan struct{})
-	select {
-	case m.commands <- func() { fn(); close(done) }:
-	case <-m.stop:
+	if err := m.loop.Call(fn); err != nil {
 		return ErrStopped
 	}
-	select {
-	case <-done:
-		return nil
-	case <-m.stop:
-		return ErrStopped
-	}
+	return nil
 }
 
 // ---- Public API ----
@@ -236,7 +208,7 @@ func (m *Member) Join() error {
 	select {
 	case err := <-errc:
 		return err
-	case <-m.stop:
+	case <-m.loop.Stopped():
 		return ErrStopped
 	}
 }
@@ -251,7 +223,7 @@ func (m *Member) Rejoin(acID string) error {
 	select {
 	case err := <-errc:
 		return err
-	case <-m.stop:
+	case <-m.loop.Stopped():
 		return ErrStopped
 	}
 }
@@ -264,6 +236,10 @@ func (m *Member) Leave() error {
 		}
 		m.sendPlain(m.acAddr, wire.KindLeaveNotice, wire.LeaveNotice{MemberID: m.cfg.ID})
 		m.detach()
+		// A voluntary departure is not a §IV-B disconnection: hold
+		// auto-rejoin back for a full silence window so an explicit
+		// Rejoin (e.g. a ticket move) is not raced by the housekeeper.
+		m.lastRejoinTry = m.clk.Now()
 	})
 }
 

@@ -1,0 +1,225 @@
+// Package node provides the shared single-goroutine runtime every Mykil
+// node type (area controller, member, registration server, replica
+// backup) runs on: one event loop that owns all node state, fed by the
+// transport's receive channel, a command channel for external callers, a
+// clock-driven housekeeping tick, and a stop/wait lifecycle. It also
+// provides the data-plane building blocks — a bounded worker pool and an
+// order-preserving pipeline — that let a node fan CPU-heavy work (crypto,
+// encoding) out across cores while the loop keeps sole ownership of
+// protocol state and per-destination wire ordering is preserved.
+package node
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"mykil/internal/clock"
+	"mykil/internal/stats"
+	"mykil/internal/transport"
+	"mykil/internal/wire"
+)
+
+// ErrStopped reports that the loop has stopped and can no longer accept
+// commands.
+var ErrStopped = errors.New("node: loop stopped")
+
+// Counter names every Loop maintains in its stats registry.
+const (
+	StatFrames   = "node.frames"   // transport frames dispatched to OnFrame
+	StatCommands = "node.commands" // commands executed on the loop
+	StatTicks    = "node.ticks"    // housekeeping ticks fired
+	StatDrops    = "node.drops"    // commands dropped because the loop had stopped
+)
+
+// Config parameterizes a Loop.
+type Config struct {
+	// Name identifies the node in logs and diagnostics.
+	Name string
+	// Transport feeds the loop's frame channel. Required.
+	Transport transport.Transport
+	// Clock drives the housekeeping ticker; nil means clock.Real.
+	Clock clock.Clock
+	// TickEvery spaces OnTick callbacks; zero disables the ticker.
+	TickEvery time.Duration
+	// OnFrame handles one received frame (loop context). Required.
+	OnFrame func(*wire.Frame)
+	// OnTick runs periodic housekeeping (loop context).
+	OnTick func()
+	// OnExit runs on the loop goroutine just before it returns, however
+	// the loop stopped (Close, transport done, or Exit). Nodes use it to
+	// fail pending blocking operations.
+	OnExit func()
+	// Stats receives the loop's counters; nil means a loop-owned registry.
+	Stats *stats.Registry
+	// CommandBuffer sizes the command channel; zero means 16.
+	CommandBuffer int
+	// Logf, if set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Loop is the single-goroutine event loop at the heart of every node. All
+// node state is owned by the loop goroutine; external callers reach it
+// through Enqueue and Call.
+type Loop struct {
+	cfg Config
+	st  *stats.Registry
+
+	commands chan func()
+	stopReq  chan struct{} // closed by Close to request shutdown
+	stopped  chan struct{} // closed when the loop goroutine has returned
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// exit is loop-context state: set by Exit to unwind after the current
+	// callback returns. Only the loop goroutine touches it.
+	exit bool
+}
+
+// New builds a loop. Call Start to begin serving.
+func New(cfg Config) *Loop {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.CommandBuffer == 0 {
+		cfg.CommandBuffer = 16
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	l := &Loop{
+		cfg:      cfg,
+		st:       cfg.Stats,
+		commands: make(chan func(), cfg.CommandBuffer),
+		stopReq:  make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	if l.st == nil {
+		l.st = &stats.Registry{}
+	}
+	return l
+}
+
+// Start launches the loop goroutine.
+func (l *Loop) Start() {
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		l.run()
+	}()
+}
+
+// Close asks the loop to stop and waits until it has. Safe to call more
+// than once and concurrently.
+func (l *Loop) Close() {
+	l.stopOnce.Do(func() { close(l.stopReq) })
+	l.wg.Wait()
+}
+
+// Stopped returns a channel closed once the loop goroutine has returned —
+// whether via Close, the transport finishing, or Exit.
+func (l *Loop) Stopped() <-chan struct{} { return l.stopped }
+
+// Exit requests that the loop return after the current callback finishes.
+// It must be called from loop context (inside OnFrame, OnTick, or a
+// command); a replica uses it to stop consuming a shared transport the
+// moment it promotes a replacement controller.
+func (l *Loop) Exit() { l.exit = true }
+
+// Stats exposes the loop's counter registry (concurrency-safe).
+func (l *Loop) Stats() *stats.Registry { return l.st }
+
+// Enqueue hands fn to the loop without waiting for it to run. Once the
+// loop has stopped the command is counted under StatDrops, logged, and
+// ErrStopped is returned so lost protocol steps are diagnosable instead
+// of vanishing silently.
+func (l *Loop) Enqueue(fn func()) error {
+	if l.hasStopped() {
+		return l.dropped()
+	}
+	select {
+	case l.commands <- fn:
+		return nil
+	case <-l.stopReq:
+	case <-l.stopped:
+	}
+	return l.dropped()
+}
+
+// hasStopped reports whether the loop has stopped or been asked to; a
+// buffered command channel could otherwise still accept (and lose) work.
+func (l *Loop) hasStopped() bool {
+	select {
+	case <-l.stopReq:
+		return true
+	case <-l.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
+// Call runs fn on the loop and waits for it to complete, or returns
+// ErrStopped if the loop stops first.
+func (l *Loop) Call(fn func()) error {
+	if l.hasStopped() {
+		return l.dropped()
+	}
+	done := make(chan struct{})
+	select {
+	case l.commands <- func() { fn(); close(done) }:
+	case <-l.stopReq:
+		return l.dropped()
+	case <-l.stopped:
+		return l.dropped()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-l.stopped:
+		return ErrStopped
+	}
+}
+
+func (l *Loop) dropped() error {
+	l.st.Add(StatDrops, 1)
+	l.cfg.Logf("%s: command dropped: loop stopped", l.cfg.Name)
+	return ErrStopped
+}
+
+// run is the event loop. It exits when Close is called, the transport
+// reports done, or a callback calls Exit.
+func (l *Loop) run() {
+	defer close(l.stopped)
+	if l.cfg.OnExit != nil {
+		defer l.cfg.OnExit()
+	}
+	var tickC <-chan time.Time
+	if l.cfg.TickEvery > 0 {
+		tick := l.cfg.Clock.NewTicker(l.cfg.TickEvery)
+		defer tick.Stop()
+		tickC = tick.C()
+	}
+	for {
+		select {
+		case f := <-l.cfg.Transport.Recv():
+			l.st.Add(StatFrames, 1)
+			l.cfg.OnFrame(f)
+		case fn := <-l.commands:
+			l.st.Add(StatCommands, 1)
+			fn()
+		case <-tickC:
+			l.st.Add(StatTicks, 1)
+			if l.cfg.OnTick != nil {
+				l.cfg.OnTick()
+			}
+		case <-l.cfg.Transport.Done():
+			return
+		case <-l.stopReq:
+			return
+		}
+		if l.exit {
+			return
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package node
+
+// Pipeline runs jobs on a Pool but delivers their results to a single
+// emit callback in exact submission order — the mechanism that lets a
+// node parallelize per-packet crypto while keeping per-destination wire
+// ordering intact. Submit and Barrier are single-producer: only the
+// owning loop goroutine may call them. The emit callback runs on the
+// pipeline's drain goroutine, so it must only touch concurrency-safe
+// state (a transport, a stats registry).
+type Pipeline[R any] struct {
+	pool  *Pool
+	items chan pipeItem[R]
+	emit  func(R)
+	done  chan struct{}
+}
+
+// pipeItem is one sequenced slot: either a pending job result or a
+// barrier marker.
+type pipeItem[R any] struct {
+	result  chan R
+	barrier chan struct{}
+}
+
+// NewPipeline builds a pipeline over pool. depth bounds how many results
+// may be in flight (<= 0 means 4x the pool size); emit receives each
+// result in submission order.
+func NewPipeline[R any](pool *Pool, depth int, emit func(R)) *Pipeline[R] {
+	if depth <= 0 {
+		depth = pool.Size() * 4
+	}
+	p := &Pipeline[R]{
+		pool:  pool,
+		items: make(chan pipeItem[R], depth),
+		emit:  emit,
+		done:  make(chan struct{}),
+	}
+	go p.drain()
+	return p
+}
+
+// Submit schedules job on the pool. Its result is emitted after every
+// earlier submission's and before every later one's, regardless of which
+// finishes computing first.
+func (p *Pipeline[R]) Submit(job func() R) {
+	ch := make(chan R, 1)
+	p.items <- pipeItem[R]{result: ch}
+	p.pool.Submit(func() { ch <- job() })
+}
+
+// Barrier blocks until every previously submitted job has been emitted.
+// The loop calls this before publishing state changes (a rekey) that
+// must not overtake in-flight data on the wire.
+func (p *Pipeline[R]) Barrier() {
+	b := make(chan struct{})
+	p.items <- pipeItem[R]{barrier: b}
+	<-b
+}
+
+// Close drains all outstanding jobs and stops the pipeline. No Submit or
+// Barrier may follow. The pool must still be open.
+func (p *Pipeline[R]) Close() {
+	close(p.items)
+	<-p.done
+}
+
+// drain sequences results: it waits on each slot in submission order and
+// hands the value to emit.
+func (p *Pipeline[R]) drain() {
+	defer close(p.done)
+	for it := range p.items {
+		if it.barrier != nil {
+			close(it.barrier)
+			continue
+		}
+		p.emit(<-it.result)
+	}
+}

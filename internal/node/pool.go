@@ -1,0 +1,96 @@
+package node
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of worker goroutines for CPU-heavy data-plane
+// work (crypto, encoding). Submitted tasks run in any order; use a
+// Pipeline to sequence results back.
+type Pool struct {
+	size    int
+	tasks   chan func()
+	wg      sync.WaitGroup
+	closeMu sync.Once
+}
+
+// NewPool starts size workers; size <= 0 means runtime.GOMAXPROCS(0).
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		size:  size,
+		tasks: make(chan func(), size*2),
+	}
+	for i := 0; i < size; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Size reports the worker count.
+func (p *Pool) Size() int { return p.size }
+
+// Submit hands one task to the pool, blocking when the task queue is
+// full. Must not be called after Close.
+func (p *Pool) Submit(fn func()) { p.tasks <- fn }
+
+// Close stops accepting tasks and waits for the workers to finish the
+// queue.
+func (p *Pool) Close() {
+	p.closeMu.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}
+
+// Map runs task(0..n-1) with up to Size concurrent executions — the
+// caller participates, so a 1-worker pool runs everything serially on
+// the caller with no goroutine switches — and returns when all n have
+// completed. Helpers that cannot be scheduled immediately (queue full of
+// other work) are simply skipped: Map makes progress on the caller alone
+// and can never deadlock, even when called while the pool is saturated.
+func (p *Pool) Map(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	helpers := p.size - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	if helpers <= 0 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	claim := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(i)
+			wg.Done()
+		}
+	}
+	for i := 0; i < helpers; i++ {
+		select {
+		case p.tasks <- claim:
+		default:
+			// Pool saturated; the caller covers the remaining indices.
+		}
+	}
+	claim()
+	wg.Wait()
+}

@@ -8,10 +8,12 @@ package regserver
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
+	"mykil/internal/node"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -127,15 +129,16 @@ type session struct {
 // Server is the registration authority. Create with New, start with
 // Start, stop with Close.
 type Server struct {
-	cfg  Config
-	clk  clock.Clock
-	stop chan struct{}
-	wg   sync.WaitGroup
+	cfg Config
+	clk clock.Clock
 
-	mu       sync.Mutex
+	// sessions holds half-completed handshakes (loop-owned).
 	sessions map[string]*session
-	// joins counts completed admissions, for tests and load stats.
-	joins int64
+	// joins counts completed admissions, for tests and load stats; atomic
+	// so it stays readable after Close.
+	joins atomic.Int64
+
+	loop *node.Loop
 }
 
 // New validates the config and builds a server.
@@ -155,52 +158,37 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		clk:      cfg.Clock,
-		stop:     make(chan struct{}),
 		sessions: make(map[string]*session),
-	}, nil
+	}
+	s.loop = node.New(node.Config{
+		Name:      "regserver",
+		Transport: cfg.Transport,
+		Clock:     cfg.Clock,
+		TickEvery: sessionTTL / 2,
+		OnFrame:   s.handle,
+		OnTick:    s.pruneSessions,
+		Logf:      cfg.Logf,
+	})
+	return s, nil
 }
 
 // Start launches the serving loop.
 func (s *Server) Start() {
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		s.run()
-	}()
+	s.loop.Start()
 }
 
 // Close stops the server and waits for its loop to exit. It does not
 // close the transport, which the caller owns.
 func (s *Server) Close() {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
-	s.wg.Wait()
+	s.loop.Close()
 }
 
 // Joins reports how many clients completed registration.
 func (s *Server) Joins() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.joins
-}
-
-func (s *Server) run() {
-	for {
-		select {
-		case f := <-s.cfg.Transport.Recv():
-			s.handle(f)
-		case <-s.cfg.Transport.Done():
-			return
-		case <-s.stop:
-			return
-		}
-	}
+	return s.joins.Load()
 }
 
 func (s *Server) handle(f *wire.Frame) {
@@ -241,10 +229,8 @@ func (s *Server) handleJoinRequest(f *wire.Frame) {
 		duration:   duration,
 		created:    s.clk.Now(),
 	}
-	s.mu.Lock()
-	s.pruneSessionsLocked()
+	s.pruneSessions()
 	s.sessions[req.ClientID] = sess
-	s.mu.Unlock()
 
 	s.sendSealed(req.ClientAddr, clientPub, wire.KindJoinChallenge, wire.JoinChallenge{
 		NonceCWPlus1: req.NonceCW + 1,
@@ -260,12 +246,10 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 		s.cfg.Logf("regserver: step 3 from %s: %v", f.From, err)
 		return
 	}
-	s.mu.Lock()
 	sess, ok := s.sessions[resp.ClientID]
 	if ok {
 		delete(s.sessions, resp.ClientID)
 	}
-	s.mu.Unlock()
 	if !ok {
 		s.cfg.Logf("regserver: step 3 for unknown session %q", resp.ClientID)
 		return
@@ -303,9 +287,7 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 		Directory:    append([]wire.ACInfo(nil), s.cfg.Controllers...),
 	}, true)
 
-	s.mu.Lock()
-	s.joins++
-	s.mu.Unlock()
+	s.joins.Add(1)
 	s.cfg.Logf("regserver: admitted %s to area controller %s (duration %v)",
 		sess.clientID, ac.ID, sess.duration)
 }
@@ -335,9 +317,10 @@ func (s *Server) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, bod
 	}
 }
 
-// pruneSessionsLocked drops handshakes older than sessionTTL. Caller holds
-// s.mu.
-func (s *Server) pruneSessionsLocked() {
+// pruneSessions drops handshakes older than sessionTTL. Runs on the loop
+// — on every step-1 arrival and on the housekeeping tick, so abandoned
+// handshakes are reclaimed even when no new clients show up.
+func (s *Server) pruneSessions() {
 	cutoff := s.clk.Now().Add(-sessionTTL)
 	for id, sess := range s.sessions {
 		if sess.created.Before(cutoff) {

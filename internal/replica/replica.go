@@ -15,6 +15,7 @@ import (
 	"mykil/internal/area"
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
+	"mykil/internal/node"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -63,6 +64,8 @@ type Backup struct {
 	clk      clock.Clock
 	takeover time.Duration
 
+	// mu guards the replicated state and promotion result: accessors stay
+	// readable after the loop exits at promotion.
 	mu        sync.Mutex
 	state     *area.State
 	stateSeq  uint64
@@ -71,9 +74,7 @@ type Backup struct {
 	promoted  *area.Controller
 	syncCount int64
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	loop *node.Loop
 }
 
 // New validates the config and builds a backup.
@@ -97,28 +98,32 @@ func New(cfg Config) (*Backup, error) {
 	if takeover == 0 {
 		takeover = DefaultTakeoverFactor * cfg.HeartbeatEvery
 	}
-	return &Backup{
+	b := &Backup{
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		takeover: takeover,
-		stop:     make(chan struct{}),
-	}, nil
+	}
+	b.loop = node.New(node.Config{
+		Name:      cfg.ID,
+		Transport: cfg.Transport,
+		Clock:     cfg.Clock,
+		TickEvery: cfg.HeartbeatEvery,
+		OnFrame:   b.handleFrame,
+		OnTick:    b.tick,
+		Logf:      cfg.Logf,
+	})
+	return b, nil
 }
 
 // Start launches the monitoring loop.
 func (b *Backup) Start() {
-	b.wg.Add(1)
-	go func() {
-		defer b.wg.Done()
-		b.run()
-	}()
+	b.loop.Start()
 }
 
 // Close stops the monitoring loop. A promoted controller keeps running;
 // the caller owns it via OnPromote or Promoted.
 func (b *Backup) Close() {
-	b.stopOnce.Do(func() { close(b.stop) })
-	b.wg.Wait()
+	b.loop.Close()
 }
 
 // Promoted returns the controller this backup promoted, if any.
@@ -156,34 +161,22 @@ func (b *Backup) StateMembers() int {
 	return len(b.state.Members)
 }
 
-func (b *Backup) run() {
-	tick := b.clk.NewTicker(b.cfg.HeartbeatEvery)
-	defer tick.Stop()
-	for {
-		select {
-		case f := <-b.cfg.Transport.Recv():
-			b.handleFrame(f)
-		case <-tick.C():
-			ctrl := b.maybePromote()
-			if ctrl == nil {
-				continue
-			}
-			// Stop consuming the shared transport BEFORE the promoted
-			// controller starts, so every subsequent frame reaches it.
-			ctrl.Start()
-			ctrl.AnnounceFailover()
-			b.mu.Lock()
-			b.promoted = ctrl
-			b.mu.Unlock()
-			if b.cfg.OnPromote != nil {
-				b.cfg.OnPromote(ctrl)
-			}
-			return
-		case <-b.cfg.Transport.Done():
-			return
-		case <-b.stop:
-			return
-		}
+// tick runs the heartbeat monitor (loop context). On takeover it asks the
+// loop to exit so the backup stops consuming the shared transport — every
+// subsequent frame then reaches the promoted controller.
+func (b *Backup) tick() {
+	ctrl := b.maybePromote()
+	if ctrl == nil {
+		return
+	}
+	b.loop.Exit()
+	ctrl.Start()
+	ctrl.AnnounceFailover()
+	b.mu.Lock()
+	b.promoted = ctrl
+	b.mu.Unlock()
+	if b.cfg.OnPromote != nil {
+		b.cfg.OnPromote(ctrl)
 	}
 }
 

@@ -16,11 +16,39 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
 )
+
+// encodeBufs recycles scratch buffers for Encode/PlainBody. Encoders are
+// NOT pooled: a gob stream emits type descriptors once per encoder, so a
+// reused encoder would produce different (shorter) bytes than a fresh one.
+var encodeBufs = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBuf bounds what goes back in the pool so one huge replica
+// snapshot doesn't pin memory for the lifetime of the process.
+const maxPooledBuf = 64 << 10
+
+// encodeWithPool gob-encodes v through a pooled buffer and returns a
+// private copy of the bytes.
+func encodeWithPool(v any) ([]byte, error) {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encodeBufs.Put(buf)
+		return nil, err
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	if buf.Cap() <= maxPooledBuf {
+		encodeBufs.Put(buf)
+	}
+	return out, nil
+}
 
 // Kind discriminates frame payload types.
 type Kind uint8
@@ -124,11 +152,11 @@ type Frame struct {
 
 // Encode serializes the frame.
 func (f *Frame) Encode() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+	b, err := encodeWithPool(f)
+	if err != nil {
 		return nil, fmt.Errorf("wire: encoding frame: %w", err)
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }
 
 // DecodeFrame reverses Frame.Encode.
@@ -146,11 +174,11 @@ func DecodeFrame(b []byte) (*Frame, error) {
 // PlainBody gob-encodes a message struct for use as an unencrypted frame
 // body.
 func PlainBody(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	b, err := encodeWithPool(v)
+	if err != nil {
 		return nil, fmt.Errorf("wire: encoding body: %w", err)
 	}
-	return buf.Bytes(), nil
+	return b, nil
 }
 
 // DecodePlain reverses PlainBody.
