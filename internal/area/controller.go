@@ -500,7 +500,7 @@ func (c *Controller) send(addr string, f *wire.Frame) {
 }
 
 // sendSealed seals body to a recipient key and sends, optionally signing.
-func (c *Controller) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body any, sign bool) {
+func (c *Controller) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body wire.Marshaler, sign bool) {
 	switch kind {
 	case wire.KindRejoinDenied:
 		c.stats.Add(StatRejoinDenied, 1)
@@ -520,7 +520,7 @@ func (c *Controller) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind,
 }
 
 // sendPlain sends an unencrypted body, optionally signed.
-func (c *Controller) sendPlain(addr string, kind wire.Kind, body any, sign bool) {
+func (c *Controller) sendPlain(addr string, kind wire.Kind, body wire.Marshaler, sign bool) {
 	blob, err := wire.PlainBody(body)
 	if err != nil {
 		c.cfg.Logf("%s: encoding %v: %v", c.cfg.ID, kind, err)

@@ -54,7 +54,7 @@ type sealJob struct {
 	addr string
 	to   crypt.PublicKey
 	kind wire.Kind
-	body any
+	body wire.Marshaler
 	sign bool
 }
 

@@ -80,6 +80,14 @@ func (c *Controller) exportState() *State {
 }
 
 // EncodeState serializes a State for transmission.
+//
+// GOB FALLBACK: this is the one deliberate gob user left in the stack.
+// The state snapshot is a large, infrequent blob carried opaquely inside
+// ReplicaSync.State — it is not on the per-frame hot path (frame
+// envelope, plain bodies, sealed bodies, key-update entries all use
+// internal/wire/codec), and its nested tree structure is not worth a
+// hand-rolled encoding. Its gob type descriptors are amortized over a
+// whole area's state rather than paid per frame.
 func EncodeState(st *State) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {

@@ -21,8 +21,8 @@ type FanoutRow struct {
 	// DataMBs is Iolus-style boundary re-encryption throughput: open the
 	// sealed data key, re-seal it under the next area's key, re-encode
 	// the packet — the controller's per-packet forwarding job.
-	DataMBs      float64
-	DataSpeedup  float64
+	DataMBs     float64
+	DataSpeedup float64
 }
 
 // FanoutResult reports how the controller's data-plane worker pool scales

@@ -274,7 +274,7 @@ func (m *Member) failOp(err error) {
 }
 
 // sendSealed seals a body to a recipient and transmits it.
-func (m *Member) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body any) {
+func (m *Member) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body wire.Marshaler) {
 	blob, err := wire.SealBody(to, body)
 	if err != nil {
 		m.cfg.Logf("%s: sealing %v: %v", m.cfg.ID, kind, err)
@@ -291,7 +291,7 @@ func (m *Member) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, bod
 }
 
 // sendPlain transmits an unencrypted body.
-func (m *Member) sendPlain(addr string, kind wire.Kind, body any) {
+func (m *Member) sendPlain(addr string, kind wire.Kind, body wire.Marshaler) {
 	blob, err := wire.PlainBody(body)
 	if err != nil {
 		return

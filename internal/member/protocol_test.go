@@ -112,7 +112,7 @@ func newProtoRig(t *testing.T) *protoRig {
 }
 
 // seal seals a body to the member's public key.
-func (r *protoRig) seal(v any) []byte {
+func (r *protoRig) seal(v wire.Marshaler) []byte {
 	r.t.Helper()
 	blob, err := wire.SealBody(r.memKeys.Public(), v)
 	if err != nil {

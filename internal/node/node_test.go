@@ -25,10 +25,10 @@ func newChanTransport() *chanTransport {
 	}
 }
 
-func (t *chanTransport) Addr() string                  { return "test" }
+func (t *chanTransport) Addr() string                   { return "test" }
 func (t *chanTransport) Send(string, *wire.Frame) error { return nil }
-func (t *chanTransport) Recv() <-chan *wire.Frame      { return t.recv }
-func (t *chanTransport) Done() <-chan struct{}         { return t.done }
+func (t *chanTransport) Recv() <-chan *wire.Frame       { return t.recv }
+func (t *chanTransport) Done() <-chan struct{}          { return t.done }
 func (t *chanTransport) Close() error {
 	t.doneOnce.Do(func() { close(t.done) })
 	return nil

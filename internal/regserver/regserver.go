@@ -302,7 +302,7 @@ func (s *Server) deny(addr string, pub crypt.PublicKey, clientID, reason string)
 
 // sendSealed seals body to the recipient and transmits it, optionally
 // signing with the server's private key.
-func (s *Server) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body any, sign bool) {
+func (s *Server) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body wire.Marshaler, sign bool) {
 	blob, err := wire.SealBody(to, body)
 	if err != nil {
 		s.cfg.Logf("regserver: sealing %v to %s: %v", kind, addr, err)

@@ -96,7 +96,7 @@ func newRig(t *testing.T, clk clock.Clock) *rig {
 }
 
 // sendSealed seals and sends a body from the client to the RS.
-func (r *rig) sendSealed(from transport.Transport, kind wire.Kind, body any) {
+func (r *rig) sendSealed(from transport.Transport, kind wire.Kind, body wire.Marshaler) {
 	r.t.Helper()
 	blob, err := wire.SealBody(r.rsKeys.Public(), body)
 	if err != nil {

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// mutexCounter is the pre-atomic implementation, kept here as the
+// benchmark baseline so the win from atomic.Int64 stays measurable.
+type mutexCounter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *mutexCounter) Inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+func (c *mutexCounter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkMutexCounterIncParallel(b *testing.B) {
+	var c mutexCounter
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}

@@ -9,13 +9,15 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing, concurrency-safe counter.
-// The zero value is ready to use.
+// The zero value is ready to use. It is a lock-free atomic: the counter
+// is bumped on every simulated-network delivery, so under parallel
+// load a mutex here serializes the whole data plane.
 type Counter struct {
-	mu sync.Mutex
-	v  int64
+	v atomic.Int64
 }
 
 // Add increases the counter by delta. Negative deltas are ignored so that a
@@ -24,27 +26,17 @@ func (c *Counter) Add(delta int64) {
 	if delta < 0 {
 		return
 	}
-	c.mu.Lock()
-	c.v += delta
-	c.mu.Unlock()
+	c.v.Add(delta)
 }
 
 // Inc increases the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.v
-}
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Reset sets the counter back to zero.
-func (c *Counter) Reset() {
-	c.mu.Lock()
-	c.v = 0
-	c.mu.Unlock()
-}
+func (c *Counter) Reset() { c.v.Store(0) }
 
 // Registry is a named collection of counters, keyed by category string
 // (e.g. "keyupdate.multicast.bytes"). The zero value is ready to use.

@@ -9,12 +9,12 @@ package ticket
 
 import (
 	"bytes"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"time"
 
 	"mykil/internal/crypt"
+	"mykil/internal/wire/codec"
 )
 
 // Errors returned when validating tickets.
@@ -50,13 +50,17 @@ type Ticket struct {
 	AreaController string
 }
 
-// Seal encrypts and authenticates the ticket under kShared.
+// Seal encrypts and authenticates the ticket under kShared. The
+// plaintext uses the compact wire codec: every controller must produce
+// the same blob for the same ticket, or re-issued tickets would churn.
 func (t *Ticket) Seal(kShared crypt.SymKey) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(t); err != nil {
-		return nil, fmt.Errorf("ticket: encoding: %w", err)
-	}
-	return crypt.Seal(kShared, buf.Bytes()), nil
+	b := make([]byte, 0, 64+len(t.PublicKeyDER))
+	b = codec.AppendTime(b, t.JoinTime)
+	b = codec.AppendTime(b, t.Validity)
+	b = codec.AppendString(b, t.ID)
+	b = codec.AppendBytes(b, t.PublicKeyDER)
+	b = codec.AppendString(b, t.AreaController)
+	return crypt.Seal(kShared, b), nil
 }
 
 // Open authenticates and decodes a sealed ticket. It performs no validity
@@ -66,8 +70,14 @@ func Open(kShared crypt.SymKey, sealed []byte) (*Ticket, error) {
 	if err != nil {
 		return nil, ErrTampered
 	}
+	r := codec.NewReader(pt)
 	var t Ticket
-	if err := gob.NewDecoder(bytes.NewReader(pt)).Decode(&t); err != nil {
+	t.JoinTime = r.Time()
+	t.Validity = r.Time()
+	t.ID = r.String()
+	t.PublicKeyDER = r.Bytes()
+	t.AreaController = r.String()
+	if r.Finish() != nil {
 		return nil, ErrTampered
 	}
 	return &t, nil

@@ -16,7 +16,7 @@ func benchFrame() *Frame {
 }
 
 // BenchmarkFrameEncode measures the hot serialization path every send
-// goes through; the pooled scratch buffer is what keeps allocs/op flat.
+// goes through; the single sized allocation is what keeps allocs/op flat.
 func BenchmarkFrameEncode(b *testing.B) {
 	f := benchFrame()
 	b.ReportAllocs()
@@ -48,11 +48,11 @@ func BenchmarkPlainBody(b *testing.B) {
 	}
 }
 
-// TestPooledEncodeMatchesFresh pins the wire format: pooled-buffer
-// encoding must produce byte-identical output to a fresh buffer per call,
-// and repeated encodes of the same value must agree (a reused gob encoder
-// would drop type descriptors and break this).
-func TestPooledEncodeMatchesFresh(t *testing.T) {
+// TestRepeatedEncodeDeterministic pins the wire format: repeated encodes
+// of the same value must be byte-identical (a reused gob encoder would
+// drop type descriptors between calls and break this; the codec is
+// stateless so every encode stands alone).
+func TestRepeatedEncodeDeterministic(t *testing.T) {
 	f := benchFrame()
 	first, err := f.Encode()
 	if err != nil {

@@ -1,0 +1,556 @@
+package wire
+
+import (
+	"time"
+
+	"mykil/internal/keytree"
+	"mykil/internal/wire/codec"
+)
+
+// This file implements the Body interface — AppendWire (value receiver)
+// and ReadWire (pointer receiver) — for every message struct, plus the
+// kind→constructor registry that replaces gob's reflective type
+// dispatch. Field order on the wire is declaration order; changing it,
+// or a field's encoding, changes the wire format and must trip the
+// golden-bytes test.
+//
+// Encoding conventions:
+//   - strings and variable byte fields: uvarint length prefix + raw bytes
+//   - nonces: 8 fixed little-endian bytes (uniformly random values would
+//     cost 9–10 bytes as varints)
+//   - epochs, sequence numbers, counts: uvarint
+//   - node IDs: zig-zag varint (see internal/keytree/codec.go)
+//   - timestamps: wall-clock seconds (varint) + nanoseconds (uvarint)
+//   - durations: zig-zag varint nanoseconds
+
+// bodyFactories maps every Kind to a constructor for its empty body.
+// Append-only, like the Kind values themselves.
+var bodyFactories = map[Kind]func() Body{
+	KindJoinRequest:      func() Body { return new(JoinRequest) },
+	KindJoinChallenge:    func() Body { return new(JoinChallenge) },
+	KindJoinResponse:     func() Body { return new(JoinResponse) },
+	KindJoinRefer:        func() Body { return new(JoinRefer) },
+	KindJoinGrant:        func() Body { return new(JoinGrant) },
+	KindJoinToAC:         func() Body { return new(JoinToAC) },
+	KindJoinWelcome:      func() Body { return new(JoinWelcome) },
+	KindJoinDenied:       func() Body { return new(JoinDenied) },
+	KindRejoinRequest:    func() Body { return new(RejoinRequest) },
+	KindRejoinChallenge:  func() Body { return new(RejoinChallenge) },
+	KindRejoinResponse:   func() Body { return new(RejoinResponse) },
+	KindRejoinVerifyReq:  func() Body { return new(RejoinVerifyReq) },
+	KindRejoinVerifyResp: func() Body { return new(RejoinVerifyResp) },
+	KindRejoinWelcome:    func() Body { return new(RejoinWelcome) },
+	KindRejoinDenied:     func() Body { return new(RejoinDenied) },
+	KindData:             func() Body { return new(Data) },
+	KindKeyUpdate:        func() Body { return new(KeyUpdate) },
+	KindPathUpdate:       func() Body { return new(PathUpdate) },
+	KindACAlive:          func() Body { return new(ACAlive) },
+	KindMemberAlive:      func() Body { return new(MemberAlive) },
+	KindLeaveNotice:      func() Body { return new(LeaveNotice) },
+	KindPathRequest:      func() Body { return new(PathRequest) },
+	KindAreaJoinReq:      func() Body { return new(AreaJoinReq) },
+	KindAreaJoinAck:      func() Body { return new(AreaJoinAck) },
+	KindAreaJoinDenied:   func() Body { return new(AreaJoinDenied) },
+	KindReplicaSync:      func() Body { return new(ReplicaSync) },
+	KindReplicaHeartbeat: func() Body { return new(ReplicaHeartbeat) },
+	KindACFailover:       func() Body { return new(ACFailover) },
+}
+
+// NewBody returns an empty body value for the given kind, or false for
+// kinds this build does not know (a newer peer's frame: the dispatch
+// layer drops it, the transport does not).
+func NewBody(k Kind) (Body, bool) {
+	f, ok := bodyFactories[k]
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// ---- shared helpers ----
+
+func appendACInfo(b []byte, a ACInfo) []byte {
+	b = codec.AppendString(b, a.ID)
+	b = codec.AppendString(b, a.Addr)
+	return codec.AppendBytes(b, a.PubDER)
+}
+
+func readACInfo(r *codec.Reader, a *ACInfo) {
+	a.ID = r.String()
+	a.Addr = r.String()
+	a.PubDER = r.Bytes()
+}
+
+// acInfoMinWire bounds a directory entry count claim: two length
+// prefixes and one byte-field prefix.
+const acInfoMinWire = 3
+
+// ---- Join protocol (Fig. 3) ----
+
+// AppendWire implements Marshaler.
+func (m JoinRequest) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AuthInfo)
+	b = codec.AppendString(b, m.ClientID)
+	b = codec.AppendString(b, m.ClientAddr)
+	b = codec.AppendBytes(b, m.ClientPub)
+	return codec.AppendUint64(b, m.NonceCW)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinRequest) ReadWire(r *codec.Reader) error {
+	m.AuthInfo = r.String()
+	m.ClientID = r.String()
+	m.ClientAddr = r.String()
+	m.ClientPub = r.Bytes()
+	m.NonceCW = r.Uint64()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinChallenge) AppendWire(b []byte) []byte {
+	b = codec.AppendUint64(b, m.NonceCWPlus1)
+	return codec.AppendUint64(b, m.NonceWC)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinChallenge) ReadWire(r *codec.Reader) error {
+	m.NonceCWPlus1 = r.Uint64()
+	m.NonceWC = r.Uint64()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinResponse) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	return codec.AppendUint64(b, m.NonceWCPlus1)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinResponse) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.NonceWCPlus1 = r.Uint64()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinRefer) AppendWire(b []byte) []byte {
+	b = codec.AppendUint64(b, m.NonceAC)
+	b = codec.AppendString(b, m.ClientID)
+	b = codec.AppendString(b, m.ClientAddr)
+	b = codec.AppendTime(b, m.Timestamp)
+	b = codec.AppendBytes(b, m.ClientPub)
+	return codec.AppendVarint(b, int64(m.Duration))
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinRefer) ReadWire(r *codec.Reader) error {
+	m.NonceAC = r.Uint64()
+	m.ClientID = r.String()
+	m.ClientAddr = r.String()
+	m.Timestamp = r.Time()
+	m.ClientPub = r.Bytes()
+	m.Duration = time.Duration(r.Varint())
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinGrant) AppendWire(b []byte) []byte {
+	b = codec.AppendUint64(b, m.NonceACPlus1)
+	b = appendACInfo(b, m.AC)
+	b = codec.AppendUvarint(b, uint64(len(m.Directory)))
+	for _, e := range m.Directory {
+		b = appendACInfo(b, e)
+	}
+	return b
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinGrant) ReadWire(r *codec.Reader) error {
+	m.NonceACPlus1 = r.Uint64()
+	readACInfo(r, &m.AC)
+	if n := r.Count(acInfoMinWire); n > 0 {
+		m.Directory = make([]ACInfo, n)
+		for i := range m.Directory {
+			readACInfo(r, &m.Directory[i])
+		}
+	} else {
+		m.Directory = nil
+	}
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinToAC) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	b = codec.AppendString(b, m.ClientAddr)
+	b = codec.AppendUint64(b, m.NonceACPlus2)
+	return codec.AppendUint64(b, m.NonceCA)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinToAC) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.ClientAddr = r.String()
+	m.NonceACPlus2 = r.Uint64()
+	m.NonceCA = r.Uint64()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinWelcome) AppendWire(b []byte) []byte {
+	b = codec.AppendUint64(b, m.NonceCAPlus1)
+	b = codec.AppendBytes(b, m.TicketBlob)
+	b = keytree.AppendPathKeys(b, m.Path)
+	b = codec.AppendUvarint(b, m.Epoch)
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.BackupAddr)
+	return codec.AppendBytes(b, m.BackupPub)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinWelcome) ReadWire(r *codec.Reader) error {
+	m.NonceCAPlus1 = r.Uint64()
+	m.TicketBlob = r.Bytes()
+	var err error
+	if m.Path, err = keytree.ReadPathKeys(r); err != nil {
+		return err
+	}
+	m.Epoch = r.Uvarint()
+	m.AreaID = r.String()
+	m.BackupAddr = r.String()
+	m.BackupPub = r.Bytes()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m JoinDenied) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	return codec.AppendString(b, m.Reason)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *JoinDenied) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.Reason = r.String()
+	return r.Err()
+}
+
+// ---- Rejoin protocol (Fig. 7) ----
+
+// AppendWire implements Marshaler.
+func (m RejoinRequest) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	b = codec.AppendString(b, m.ClientAddr)
+	b = codec.AppendUint64(b, m.NonceCB)
+	return codec.AppendBytes(b, m.TicketBlob)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinRequest) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.ClientAddr = r.String()
+	m.NonceCB = r.Uint64()
+	m.TicketBlob = r.Bytes()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m RejoinChallenge) AppendWire(b []byte) []byte {
+	b = codec.AppendUint64(b, m.NonceCBPlus1)
+	return codec.AppendUint64(b, m.NonceBC)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinChallenge) ReadWire(r *codec.Reader) error {
+	m.NonceCBPlus1 = r.Uint64()
+	m.NonceBC = r.Uint64()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m RejoinResponse) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	return codec.AppendUint64(b, m.NonceBCPlus1)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinResponse) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.NonceBCPlus1 = r.Uint64()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m RejoinVerifyReq) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	return codec.AppendTime(b, m.Timestamp)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinVerifyReq) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.Timestamp = r.Time()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m RejoinVerifyResp) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	b = codec.AppendBool(b, m.StillMember)
+	b = codec.AppendBytes(b, m.TicketBlob)
+	return codec.AppendTime(b, m.Timestamp)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinVerifyResp) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.StillMember = r.Bool()
+	m.TicketBlob = r.Bytes()
+	m.Timestamp = r.Time()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m RejoinWelcome) AppendWire(b []byte) []byte {
+	b = codec.AppendBytes(b, m.TicketBlob)
+	b = keytree.AppendPathKeys(b, m.Path)
+	b = codec.AppendUvarint(b, m.Epoch)
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.BackupAddr)
+	return codec.AppendBytes(b, m.BackupPub)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinWelcome) ReadWire(r *codec.Reader) error {
+	m.TicketBlob = r.Bytes()
+	var err error
+	if m.Path, err = keytree.ReadPathKeys(r); err != nil {
+		return err
+	}
+	m.Epoch = r.Uvarint()
+	m.AreaID = r.String()
+	m.BackupAddr = r.String()
+	m.BackupPub = r.Bytes()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m RejoinDenied) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ClientID)
+	return codec.AppendString(b, m.Reason)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *RejoinDenied) ReadWire(r *codec.Reader) error {
+	m.ClientID = r.String()
+	m.Reason = r.String()
+	return r.Err()
+}
+
+// ---- Data and key management (§III) ----
+
+// AppendWire implements Marshaler.
+func (m Data) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.Origin)
+	b = codec.AppendString(b, m.OriginArea)
+	b = codec.AppendUvarint(b, m.Seq)
+	b = codec.AppendString(b, m.FromArea)
+	b = codec.AppendByte(b, byte(m.Cipher))
+	b = codec.AppendBytes(b, m.EncKey)
+	return codec.AppendBytes(b, m.Payload)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *Data) ReadWire(r *codec.Reader) error {
+	m.Origin = r.String()
+	m.OriginArea = r.String()
+	m.Seq = r.Uvarint()
+	m.FromArea = r.String()
+	m.Cipher = DataCipher(r.Byte())
+	m.EncKey = r.Bytes()
+	m.Payload = r.Bytes()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m KeyUpdate) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendUvarint(b, m.Epoch)
+	return keytree.AppendEntries(b, m.Entries)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *KeyUpdate) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.Epoch = r.Uvarint()
+	var err error
+	m.Entries, err = keytree.ReadEntries(r)
+	return err
+}
+
+// AppendWire implements Marshaler.
+func (m PathUpdate) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendUvarint(b, m.Epoch)
+	return keytree.AppendPathKeys(b, m.Path)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *PathUpdate) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.Epoch = r.Uvarint()
+	var err error
+	m.Path, err = keytree.ReadPathKeys(r)
+	return err
+}
+
+// ---- Failure detection (§IV-A) ----
+
+// AppendWire implements Marshaler.
+func (m ACAlive) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	return codec.AppendUvarint(b, m.Epoch)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *ACAlive) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.Epoch = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m MemberAlive) AppendWire(b []byte) []byte {
+	return codec.AppendString(b, m.MemberID)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *MemberAlive) ReadWire(r *codec.Reader) error {
+	m.MemberID = r.String()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m LeaveNotice) AppendWire(b []byte) []byte {
+	return codec.AppendString(b, m.MemberID)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *LeaveNotice) ReadWire(r *codec.Reader) error {
+	m.MemberID = r.String()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m PathRequest) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.MemberID)
+	return codec.AppendUvarint(b, m.Epoch)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *PathRequest) ReadWire(r *codec.Reader) error {
+	m.MemberID = r.String()
+	m.Epoch = r.Uvarint()
+	return r.Err()
+}
+
+// ---- Area-tree maintenance (§IV-C) ----
+
+// AppendWire implements Marshaler.
+func (m AreaJoinReq) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ACID)
+	b = codec.AppendString(b, m.ACAddr)
+	b = codec.AppendString(b, m.AreaID)
+	return codec.AppendTime(b, m.Timestamp)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *AreaJoinReq) ReadWire(r *codec.Reader) error {
+	m.ACID = r.String()
+	m.ACAddr = r.String()
+	m.AreaID = r.String()
+	m.Timestamp = r.Time()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m AreaJoinAck) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ParentID)
+	b = codec.AppendString(b, m.ParentAreaID)
+	b = keytree.AppendPathKeys(b, m.Path)
+	b = codec.AppendUvarint(b, m.Epoch)
+	return codec.AppendTime(b, m.Timestamp)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *AreaJoinAck) ReadWire(r *codec.Reader) error {
+	m.ParentID = r.String()
+	m.ParentAreaID = r.String()
+	var err error
+	if m.Path, err = keytree.ReadPathKeys(r); err != nil {
+		return err
+	}
+	m.Epoch = r.Uvarint()
+	m.Timestamp = r.Time()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m AreaJoinDenied) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ACID)
+	return codec.AppendString(b, m.Reason)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *AreaJoinDenied) ReadWire(r *codec.Reader) error {
+	m.ACID = r.String()
+	m.Reason = r.String()
+	return r.Err()
+}
+
+// ---- Replication (§IV-C) ----
+
+// AppendWire implements Marshaler.
+func (m ReplicaSync) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendUvarint(b, m.Seq)
+	return codec.AppendBytes(b, m.State)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *ReplicaSync) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.Seq = r.Uvarint()
+	m.State = r.Bytes()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m ReplicaHeartbeat) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	return codec.AppendUvarint(b, m.Seq)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *ReplicaHeartbeat) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.Seq = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m ACFailover) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.NewAddr)
+	b = codec.AppendBytes(b, m.NewPub)
+	return codec.AppendUvarint(b, m.Epoch)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *ACFailover) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.NewAddr = r.String()
+	m.NewPub = r.Bytes()
+	m.Epoch = r.Uvarint()
+	return r.Err()
+}

@@ -1,11 +1,16 @@
 package wire
 
 import (
+	"bytes"
 	"testing"
 )
 
 // FuzzDecodeFrame hardens the transport-facing decoder: arbitrary bytes
-// must produce an error or a valid frame, never a panic.
+// must produce an error or a valid frame, never a panic and never an
+// allocation larger than the input (length prefixes are capped against
+// the bytes actually present). A successful decode must also re-encode
+// to the identical bytes — the codec is canonical, so there is exactly
+// one encoding per frame.
 func FuzzDecodeFrame(f *testing.F) {
 	valid, err := (&Frame{Kind: KindData, From: "x", Body: []byte("b"), Sig: []byte("s")}).Encode()
 	if err != nil {
@@ -15,24 +20,70 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("garbage"))
 	f.Add(make([]byte, 1024))
+	// A frame claiming a body far larger than the input.
+	f.Add([]byte{byte(KindData), 0x01, 'x', 0xFF, 0xFF, 0xFF, 0x7F})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := DecodeFrame(data)
-		if err == nil && frame.Kind == 0 {
+		if err != nil {
+			return
+		}
+		if frame.Kind == 0 {
 			t.Error("decoded frame with zero kind")
+		}
+		if len(frame.From)+len(frame.Body)+len(frame.Sig) > len(data) {
+			t.Errorf("decoded fields exceed input: %d bytes from %d", len(frame.From)+len(frame.Body)+len(frame.Sig), len(data))
+		}
+		re, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Errorf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+		// The body must be independently decodable or rejected, never a
+		// panic, for every registered kind.
+		if body, ok := NewBody(frame.Kind); ok {
+			_ = DecodePlain(frame.Body, body)
 		}
 	})
 }
 
-// FuzzDecodePlain hardens the body decoder against hostile payloads.
+// FuzzDecodePlain hardens every registered body decoder against hostile
+// payloads: arbitrary bytes must return an error or a value that
+// re-encodes without panicking, and claimed element counts must never
+// out-allocate the input.
 func FuzzDecodePlain(f *testing.F) {
-	valid, err := PlainBody(KeyUpdate{AreaID: "a", Epoch: 3})
-	if err != nil {
-		f.Fatal(err)
+	for _, m := range []Marshaler{
+		KeyUpdate{AreaID: "a", Epoch: 3},
+		ACAlive{AreaID: "a", Epoch: 1},
+		JoinWelcome{AreaID: "a", TicketBlob: []byte{1}},
+	} {
+		b, err := PlainBody(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
 	}
-	f.Add(valid)
 	f.Add([]byte("x"))
+	// A KeyUpdate-shaped prefix claiming 2^32 entries.
+	f.Add(append([]byte{0x01, 'a', 0x01}, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var u KeyUpdate
-		_ = DecodePlain(data, &u) // must not panic
+		for k := KindJoinRequest; k <= KindACFailover; k++ {
+			body, ok := NewBody(k)
+			if !ok {
+				t.Fatalf("no registry entry for %v", k)
+			}
+			if err := DecodePlain(data, body); err != nil {
+				continue
+			}
+			// Accepted payloads must re-encode to the same canonical bytes.
+			re, err := PlainBody(body)
+			if err != nil {
+				t.Fatalf("%v: re-encode: %v", k, err)
+			}
+			if !bytes.Equal(re, data) {
+				t.Errorf("%v: decode/encode not canonical:\n in: %x\nout: %x", k, data, re)
+			}
+		}
 	})
 }

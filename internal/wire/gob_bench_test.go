@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"mykil/internal/keytree"
+)
+
+// This file is the E12 harness: it compares the codec against the gob
+// wire format it replaced, on the message that dominates Mykil's
+// bandwidth results — the multicast KeyUpdate. gob is imported here
+// deliberately; _test files are the only place outside the replica
+// snapshot fallback where it is still allowed.
+//
+// The gob baseline reproduces the pre-refactor path faithfully: one
+// fresh encoder per body and per frame, because each frame must be
+// independently decodable by a receiver that has seen no prior traffic
+// (a long-lived gob stream would amortize type descriptors but breaks
+// exactly that property).
+
+// e12KeyUpdate builds a KeyUpdate with n entries whose ciphertexts are
+// ctLen bytes. ctLen 16 matches the paper's accounting mode (AES block
+// per key, the mode behind the bandwidth tables); ctLen 64 matches
+// crypt.Seal's nonce+tag framing.
+func e12KeyUpdate(n, ctLen int) KeyUpdate {
+	entries := make([]keytree.Entry, n)
+	for i := range entries {
+		ct := make([]byte, ctLen)
+		for j := range ct {
+			ct[j] = byte(i + j)
+		}
+		entries[i] = keytree.Entry{
+			Node:       keytree.NodeID(2*i + 1),
+			Under:      keytree.NodeID(4*i + 3),
+			Ciphertext: ct,
+		}
+	}
+	return KeyUpdate{AreaID: "area-0", Epoch: 42, Entries: entries}
+}
+
+// gobFrame mirrors the old Frame layout for the baseline encoder.
+type gobFrame struct {
+	Kind Kind
+	From string
+	Body []byte
+	Sig  []byte
+}
+
+func gobEncodeFrame(u KeyUpdate, from string, sig []byte) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(u); err != nil {
+		return nil, err
+	}
+	var frame bytes.Buffer
+	err := gob.NewEncoder(&frame).Encode(gobFrame{
+		Kind: KindKeyUpdate, From: from, Body: body.Bytes(), Sig: sig,
+	})
+	return frame.Bytes(), err
+}
+
+func gobDecodeFrame(b []byte) (KeyUpdate, error) {
+	var f gobFrame
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return KeyUpdate{}, err
+	}
+	var u KeyUpdate
+	err := gob.NewDecoder(bytes.NewReader(f.Body)).Decode(&u)
+	return u, err
+}
+
+func codecEncodeFrame(u KeyUpdate, from string, sig []byte) ([]byte, error) {
+	body, err := PlainBody(u)
+	if err != nil {
+		return nil, err
+	}
+	return (&Frame{Kind: KindKeyUpdate, From: from, Body: body, Sig: sig}).Encode()
+}
+
+func codecDecodeFrame(b []byte) (KeyUpdate, error) {
+	f, err := DecodeFrame(b)
+	if err != nil {
+		return KeyUpdate{}, err
+	}
+	var u KeyUpdate
+	err = DecodePlain(f.Body, &u)
+	return u, err
+}
+
+const e12From = "10.0.0.1:7000"
+
+// TestCodecBeatsGobOnSize is E12's size acceptance gate: the codec
+// KeyUpdate frame must be at least 30% smaller than the gob frame for
+// the representative accounting-mode fixture (15 entries, the steady
+// state of a 16-member area), and smaller at every other point we
+// report.
+func TestCodecBeatsGobOnSize(t *testing.T) {
+	sig := make([]byte, 0)
+	for _, tc := range []struct {
+		entries, ctLen int
+		want30         bool
+	}{
+		{5, 16, true},   // join-mode update, accounting ciphertexts
+		{15, 16, true},  // leave-mode update, accounting ciphertexts
+		{5, 64, true},   // join-mode update, crypt.Seal ciphertexts
+		{15, 64, false}, // leave-mode: gob's per-entry overhead amortizes
+	} {
+		u := e12KeyUpdate(tc.entries, tc.ctLen)
+		gb, err := gobEncodeFrame(u, e12From, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := codecEncodeFrame(u, e12From, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saving := 1 - float64(len(cb))/float64(len(gb))
+		t.Logf("entries=%d ctLen=%d: gob=%d codec=%d saving=%.1f%%",
+			tc.entries, tc.ctLen, len(gb), len(cb), 100*saving)
+		if len(cb) >= len(gb) {
+			t.Errorf("entries=%d ctLen=%d: codec (%d B) not smaller than gob (%d B)",
+				tc.entries, tc.ctLen, len(cb), len(gb))
+		}
+		if tc.want30 && saving < 0.30 {
+			t.Errorf("entries=%d ctLen=%d: saving %.1f%% < 30%%",
+				tc.entries, tc.ctLen, 100*saving)
+		}
+	}
+}
+
+func benchSizes() []struct{ entries, ctLen int } {
+	return []struct{ entries, ctLen int }{
+		{5, 16},
+		{15, 16},
+		{15, 64},
+	}
+}
+
+func BenchmarkKeyUpdateEncodeCodec(b *testing.B) {
+	for _, s := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d/ct=%d", s.entries, s.ctLen), func(b *testing.B) {
+			u := e12KeyUpdate(s.entries, s.ctLen)
+			sig := make([]byte, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codecEncodeFrame(u, e12From, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKeyUpdateEncodeGob(b *testing.B) {
+	for _, s := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d/ct=%d", s.entries, s.ctLen), func(b *testing.B) {
+			u := e12KeyUpdate(s.entries, s.ctLen)
+			sig := make([]byte, 128)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gobEncodeFrame(u, e12From, sig); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKeyUpdateDecodeCodec(b *testing.B) {
+	for _, s := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d/ct=%d", s.entries, s.ctLen), func(b *testing.B) {
+			enc, err := codecEncodeFrame(e12KeyUpdate(s.entries, s.ctLen), e12From, make([]byte, 128))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codecDecodeFrame(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKeyUpdateDecodeGob(b *testing.B) {
+	for _, s := range benchSizes() {
+		b.Run(fmt.Sprintf("entries=%d/ct=%d", s.entries, s.ctLen), func(b *testing.B) {
+			enc, err := gobEncodeFrame(e12KeyUpdate(s.entries, s.ctLen), e12From, make([]byte, 128))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gobDecodeFrame(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

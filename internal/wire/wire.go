@@ -4,50 +4,49 @@
 // and primary-backup replication traffic.
 //
 // Every transport payload is a Frame: a message kind, the sender address,
-// a body, and an optional RSA signature over the body. Confidential bodies
-// are produced with SealBody (public-key hybrid encryption over the gob
-// encoding plus an integrity digest — the paper's "MAC computed over the
-// first N pieces of information"); non-confidential bodies use PlainBody.
+// a body, and an optional RSA signature over the body. Bodies are encoded
+// with the compact deterministic codec in internal/wire/codec — every
+// message struct implements Marshaler/Unmarshaler by hand, so no
+// reflection runs and no type descriptors ride along on the wire (the
+// paper's bandwidth results count bytes; gob's self-describing streams
+// would inflate them). Confidential bodies are produced with SealBody
+// (public-key hybrid encryption over the encoding plus an integrity
+// digest — the paper's "MAC computed over the first N pieces of
+// information"); non-confidential bodies use PlainBody.
 package wire
 
 import (
 	"bytes"
 	"crypto/sha256"
-	"encoding/gob"
+	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/wire/codec"
 )
 
-// encodeBufs recycles scratch buffers for Encode/PlainBody. Encoders are
-// NOT pooled: a gob stream emits type descriptors once per encoder, so a
-// reused encoder would produce different (shorter) bytes than a fresh one.
-var encodeBufs = sync.Pool{
-	New: func() any { return new(bytes.Buffer) },
+// Marshaler is the encoding half of the Body interface: it appends the
+// message's compact wire form. Implemented with value receivers, so
+// both values and pointers marshal.
+type Marshaler interface {
+	AppendWire(b []byte) []byte
 }
 
-// maxPooledBuf bounds what goes back in the pool so one huge replica
-// snapshot doesn't pin memory for the lifetime of the process.
-const maxPooledBuf = 64 << 10
+// Unmarshaler is the decoding half of the Body interface. Implemented
+// with pointer receivers; pass &msg.
+type Unmarshaler interface {
+	ReadWire(r *codec.Reader) error
+}
 
-// encodeWithPool gob-encodes v through a pooled buffer and returns a
-// private copy of the bytes.
-func encodeWithPool(v any) ([]byte, error) {
-	buf := encodeBufs.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := gob.NewEncoder(buf).Encode(v); err != nil {
-		encodeBufs.Put(buf)
-		return nil, err
-	}
-	out := append([]byte(nil), buf.Bytes()...)
-	if buf.Cap() <= maxPooledBuf {
-		encodeBufs.Put(buf)
-	}
-	return out, nil
+// Body is implemented by (a pointer to) every message struct in this
+// package. NewBody builds an empty Body for a Kind, replacing gob's
+// reflective type dispatch with an explicit registry.
+type Body interface {
+	Marshaler
+	Unmarshaler
 }
 
 // Kind discriminates frame payload types.
@@ -150,40 +149,52 @@ type Frame struct {
 	Sig  []byte // optional RSA signature over Body
 }
 
-// Encode serializes the frame.
+// Encode serializes the frame: one kind byte, then the length-prefixed
+// sender address, body, and signature. The error return is kept for
+// transport compatibility; encoding itself cannot fail.
 func (f *Frame) Encode() ([]byte, error) {
-	b, err := encodeWithPool(f)
-	if err != nil {
-		return nil, fmt.Errorf("wire: encoding frame: %w", err)
-	}
+	b := make([]byte, 0, 1+3*binary.MaxVarintLen32+len(f.From)+len(f.Body)+len(f.Sig))
+	b = codec.AppendByte(b, byte(f.Kind))
+	b = codec.AppendString(b, f.From)
+	b = codec.AppendBytes(b, f.Body)
+	b = codec.AppendBytes(b, f.Sig)
 	return b, nil
 }
 
-// DecodeFrame reverses Frame.Encode.
+// DecodeFrame reverses Frame.Encode. The whole input must be consumed;
+// trailing bytes are an error, so every frame has exactly one encoding.
 func DecodeFrame(b []byte) (*Frame, error) {
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+	r := codec.NewReader(b)
+	f := &Frame{
+		Kind: Kind(r.Byte()),
+		From: r.String(),
+		Body: r.Bytes(),
+		Sig:  r.Bytes(),
+	}
+	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	if f.Kind == 0 {
 		return nil, fmt.Errorf("%w: zero kind", ErrBadFrame)
 	}
-	return &f, nil
+	return f, nil
 }
 
-// PlainBody gob-encodes a message struct for use as an unencrypted frame
-// body.
-func PlainBody(v any) ([]byte, error) {
-	b, err := encodeWithPool(v)
-	if err != nil {
-		return nil, fmt.Errorf("wire: encoding body: %w", err)
+// PlainBody encodes a message struct for use as an unencrypted frame
+// body. The error return is kept for call-site compatibility; the codec
+// cannot fail on encode.
+func PlainBody(v Marshaler) ([]byte, error) {
+	return v.AppendWire(make([]byte, 0, 64)), nil
+}
+
+// DecodePlain reverses PlainBody, requiring the input to be fully
+// consumed.
+func DecodePlain(b []byte, v Unmarshaler) error {
+	r := codec.NewReader(b)
+	if err := v.ReadWire(r); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadBody, err)
 	}
-	return b, nil
-}
-
-// DecodePlain reverses PlainBody.
-func DecodePlain(b []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+	if err := r.Finish(); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadBody, err)
 	}
 	return nil
@@ -192,7 +203,7 @@ func DecodePlain(b []byte, v any) error {
 // SealBody encrypts a message struct to a recipient public key, prefixing
 // the plaintext with a SHA-256 digest — the paper's in-message MAC. Large
 // bodies automatically use the one-time-key hybrid path (§V-D).
-func SealBody(to crypt.PublicKey, v any) ([]byte, error) {
+func SealBody(to crypt.PublicKey, v Marshaler) ([]byte, error) {
 	payload, err := PlainBody(v)
 	if err != nil {
 		return nil, err
@@ -205,7 +216,7 @@ func SealBody(to crypt.PublicKey, v any) ([]byte, error) {
 }
 
 // OpenBody decrypts and integrity-checks a SealBody blob into v.
-func OpenBody(kp *crypt.KeyPair, blob []byte, v any) error {
+func OpenBody(kp *crypt.KeyPair, blob []byte, v Unmarshaler) error {
 	pt, err := kp.Decrypt(blob)
 	if err != nil {
 		return err
