@@ -10,7 +10,8 @@
 //	mykil-bench -exp joinlat -rsabits 2048 -latency 2ms -iters 5
 //
 // Experiments: storage cpu fig8 fig9 fig10 joinlat protocost rc4 batching
-// arity prune flush model fanout all. Add -csv for machine-readable output.
+// arity prune flush model fanout journal all. Add -csv for
+// machine-readable output.
 package main
 
 import (
@@ -28,7 +29,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|all")
+		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|all")
 		n       = flag.Int("n", bench.PaperGroupSize, "group size")
 		arity   = flag.Int("arity", bench.PaperArity, "auxiliary-key-tree arity (paper's byte arithmetic: 2)")
 		rsaBits = flag.Int("rsabits", 2048, "RSA modulus bits for the latency experiment")
@@ -199,6 +200,22 @@ func run() int {
 		}
 		printTable(r.Table())
 		fmt.Println()
+		return nil
+	})
+
+	runExp("journal", func() error {
+		rows, err := bench.JournalThroughput(0, 0)
+		if err != nil {
+			return err
+		}
+		printTable(bench.JournalThroughputTable(rows, 0))
+		verdict(bench.FsyncOrderingHolds(rows), "relaxing fsync never slows appends")
+		r, err := bench.RecoveryVsRejoin(0, *rsaBits)
+		if err != nil {
+			return err
+		}
+		printTable(r.Table())
+		verdict(r.RecoveryBeatsRejoin(), "journal restart cheaper than whole-area rejoin")
 		return nil
 	})
 

@@ -15,6 +15,7 @@ import (
 
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
+	"mykil/internal/journal"
 	"mykil/internal/keytree"
 	"mykil/internal/node"
 	"mykil/internal/stats"
@@ -116,6 +117,13 @@ type Config struct {
 	// zero means runtime.GOMAXPROCS(0). The control plane (protocol
 	// state) stays single-threaded regardless.
 	DataWorkers int
+	// Journal, if set, makes the controller durable: every state
+	// mutation is appended as a record and periodically snapshotted, and
+	// NewFromJournal rebuilds the identical controller after a crash.
+	Journal *journal.Journal
+	// SnapshotEvery spaces journal snapshots in records; zero means
+	// DefaultSnapshotEvery. Only meaningful with Journal set.
+	SnapshotEvery int
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -150,6 +158,9 @@ func (cfg *Config) fillDefaults() error {
 	}
 	if cfg.HeartbeatEvery == 0 {
 		cfg.HeartbeatEvery = cfg.TIdle
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -246,6 +257,11 @@ type Controller struct {
 	backupDirty   bool
 	lastHeartbeat time.Time
 
+	// Durability: the seeded key generator active during a journaled
+	// rekey (live or replayed), and the snapshot cadence counter.
+	detKG         replayKeyGen
+	recsSinceSnap int
+
 	stats stats.Registry
 
 	// Control plane: the event loop that owns all state above.
@@ -294,7 +310,7 @@ func New(cfg Config) (*Controller, error) {
 	}
 	c.pool = node.NewPool(cfg.DataWorkers)
 	c.dp = node.NewPipeline(c.pool, 0, c.deliver)
-	c.tree = keytree.New(keytree.Config{Arity: cfg.TreeArity, Parallel: c.treeParallel})
+	c.tree = keytree.New(c.treeConfig())
 	c.loop = node.New(node.Config{
 		Name:          cfg.ID,
 		Transport:     cfg.Transport,
@@ -313,12 +329,18 @@ func New(cfg Config) (*Controller, error) {
 }
 
 // Start launches the controller loop and, if a parent is configured,
-// initiates the area join toward it.
+// initiates the area join toward it. A controller restored with a live
+// parent link (NewFromJournal replayed a recParentSet) skips the request:
+// it is already a member of the parent area under the same identity.
 func (c *Controller) Start() {
 	c.loop.Start()
 	if c.cfg.Parent != nil {
 		parent := *c.cfg.Parent
-		c.enqueue(func() { c.requestParent(parent) })
+		c.enqueue(func() {
+			if c.parent == nil {
+				c.requestParent(parent)
+			}
+		})
 	}
 }
 

@@ -39,8 +39,10 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 		leaveIDs = append(leaveIDs, keytree.MemberID(id))
 	}
 
+	seed := c.armRekeySeed()
 	oldAreaKey := c.tree.AreaKey()
 	res, err := c.tree.Batch(joinIDs, leaveIDs)
+	c.detKG.disarm()
 	if err != nil {
 		c.cfg.Logf("%s: rekey batch failed: %v", c.cfg.ID, err)
 		return
@@ -64,6 +66,10 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 	for _, p := range joins {
 		c.members[p.entry.id] = p.entry
 	}
+
+	// Durability point: the mutation is journaled before any member sees
+	// its effects, so a crash from here on replays to this exact state.
+	c.journalBatch(seed, joins, leaves)
 
 	// Unicast welcomes to joiners (join step 7 / rejoin step 6) and fresh
 	// paths to members displaced by splits (§III-C). The per-member RSA
@@ -165,8 +171,11 @@ func (c *Controller) multicastKeyUpdate(res *keytree.BatchResult, joins []pendin
 // condition 2).
 func (c *Controller) freshnessRekey() {
 	c.dataBarrier()
+	seed := c.armRekeySeed()
 	oldAreaKey := c.tree.AreaKey()
 	res := c.tree.RefreshAreaKey()
+	c.detKG.disarm()
+	c.journalFreshness(seed)
 	c.rememberAreaKey(oldAreaKey)
 	c.lastRekey = c.clk.Now()
 	c.stats.Add(StatRekeys, 1)

@@ -77,8 +77,10 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 		return
 	}
 
+	seed := c.armRekeySeed()
 	oldAreaKey := c.tree.AreaKey()
 	res, err := c.tree.Join(keytree.MemberID(req.ACID))
+	c.detKG.disarm()
 	if err != nil {
 		c.sendSealed(req.ACAddr, pub, wire.KindAreaJoinDenied, wire.AreaJoinDenied{
 			ACID: req.ACID, Reason: err.Error(),
@@ -95,6 +97,9 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 		lastSeen:  c.clk.Now(),
 		isChildAC: true,
 	}
+	// tree.Join is Batch of one: journaled as a recBatch so replay takes
+	// the identical code path.
+	c.journalBatch(seed, []pendingAdmission{{entry: c.members[req.ACID]}}, nil)
 	c.sendSealed(req.ACAddr, pub, wire.KindAreaJoinAck, wire.AreaJoinAck{
 		ParentID:     c.cfg.ID,
 		ParentAreaID: c.cfg.AreaID,
@@ -154,6 +159,7 @@ func (c *Controller) handleAreaJoinAck(f *wire.Frame) {
 		lastSent: now,
 	}
 	c.cfg.Logf("%s: parent is now %s (area %s)", c.cfg.ID, ack.ParentID, ack.ParentAreaID)
+	c.journalParentSet()
 	c.markBackupDirty()
 }
 
@@ -193,7 +199,11 @@ func (c *Controller) handleParentKeyUpdate(f *wire.Frame) {
 			MemberID: c.cfg.ID,
 			Epoch:    c.parent.view.Epoch(),
 		}, false)
+		return
 	}
+	// Keep the journaled parent view current so a restart can keep
+	// forwarding upward without waiting for a path recovery.
+	c.journalParentSet()
 }
 
 // handleParentPathUpdate rebases our view of the parent area.
@@ -210,6 +220,7 @@ func (c *Controller) handleParentPathUpdate(f *wire.Frame) {
 	}
 	c.parent.lastRecv = c.clk.Now()
 	c.parent.view.Rebase(pu.Path, pu.Epoch)
+	c.journalParentSet()
 }
 
 // handleACAlive refreshes parent liveness (§IV-A).
@@ -244,6 +255,7 @@ func (c *Controller) parentHousekeeping(now time.Time) {
 	if silence > time.Duration(DefaultSilenceFactor)*c.cfg.TIdle {
 		c.cfg.Logf("%s: parent %s silent for %v; re-parenting", c.cfg.ID, c.parent.info.ID, silence)
 		c.parent = nil
+		c.journalParentClear()
 		c.tryNextParent()
 		c.markBackupDirty()
 	}

@@ -263,6 +263,7 @@ func (c *Controller) handleRejoinResponse(f *wire.Frame) {
 		delete(c.rejoinSessions, sess.clientID)
 		entry.addr = sess.clientAddr
 		entry.lastSeen = c.clk.Now()
+		c.journalTouch(entry)
 		pks, err := c.tree.PathKeys(keytree.MemberID(sess.clientID))
 		if err != nil {
 			return

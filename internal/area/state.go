@@ -1,14 +1,14 @@
 package area
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
+	"sort"
 	"time"
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
 	"mykil/internal/wire"
+	"mykil/internal/wire/codec"
 )
 
 // State is the minimal replicated state of §IV-C: "the complete auxiliary
@@ -56,6 +56,8 @@ func (c *Controller) exportState() *State {
 		Tree:   c.tree.Export(),
 		Seq:    c.stateSeq,
 	}
+	// Members in sorted ID order: identical membership must encode to
+	// identical bytes (journal snapshots and replay checks compare them).
 	st.Members = make([]MemberState, 0, len(c.members))
 	for _, e := range c.members {
 		st.Members = append(st.Members, MemberState{
@@ -66,6 +68,7 @@ func (c *Controller) exportState() *State {
 			IsChildAC:  e.isChildAC,
 		})
 	}
+	sort.Slice(st.Members, func(i, j int) bool { return st.Members[i].ID < st.Members[j].ID })
 	if c.parent != nil {
 		st.Parent = &ParentStateExport{
 			ID:     c.parent.info.ID,
@@ -79,30 +82,126 @@ func (c *Controller) exportState() *State {
 	return st
 }
 
-// EncodeState serializes a State for transmission.
-//
-// GOB FALLBACK: this is the one deliberate gob user left in the stack.
-// The state snapshot is a large, infrequent blob carried opaquely inside
-// ReplicaSync.State — it is not on the per-frame hot path (frame
-// envelope, plain bodies, sealed bodies, key-update entries all use
-// internal/wire/codec), and its nested tree structure is not worth a
-// hand-rolled encoding. Its gob type descriptors are amortized over a
-// whole area's state rather than paid per frame.
-func EncodeState(st *State) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return nil, fmt.Errorf("area: encoding state: %w", err)
-	}
-	return buf.Bytes(), nil
+// BootState exports the controller's replicated state before Start,
+// while the builder still owns the controller single-threadedly. It is
+// how a journal-recovered controller seeds a backup's cold-restore
+// state; once the loop is running, use the replica sync protocol
+// instead.
+func (c *Controller) BootState() *State { return c.exportState() }
+
+// stateFormatV1 is the leading version byte of the encoded State. The
+// same blob travels inside ReplicaSync frames and rests in journal
+// snapshots, so the format is pinned by golden bytes
+// (testdata/golden_state.txt) and versioned for forward evolution.
+const stateFormatV1 = 1
+
+// memberStateMinWire is the smallest encoded MemberState: four empty
+// length prefixes plus the child-AC flag.
+const memberStateMinWire = 5
+
+// AppendWire appends the member record's compact encoding.
+func (m MemberState) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.ID)
+	b = codec.AppendString(b, m.Addr)
+	b = codec.AppendBytes(b, m.PubDER)
+	b = codec.AppendBytes(b, m.TicketBlob)
+	return codec.AppendBool(b, m.IsChildAC)
 }
 
-// DecodeState reverses EncodeState.
+// ReadWire decodes a MemberState written by AppendWire.
+func (m *MemberState) ReadWire(r *codec.Reader) error {
+	m.ID = r.String()
+	m.Addr = r.String()
+	m.PubDER = r.Bytes()
+	m.TicketBlob = r.Bytes()
+	m.IsChildAC = r.Bool()
+	return r.Err()
+}
+
+// AppendWire appends the parent link's compact encoding.
+func (p ParentStateExport) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, p.ID)
+	b = codec.AppendString(b, p.Addr)
+	b = codec.AppendBytes(b, p.PubDER)
+	b = codec.AppendString(b, p.AreaID)
+	b = keytree.AppendPathKeys(b, p.Path)
+	return codec.AppendUvarint(b, p.Epoch)
+}
+
+// ReadWire decodes a ParentStateExport written by AppendWire.
+func (p *ParentStateExport) ReadWire(r *codec.Reader) error {
+	p.ID = r.String()
+	p.Addr = r.String()
+	p.PubDER = r.Bytes()
+	p.AreaID = r.String()
+	var err error
+	if p.Path, err = keytree.ReadPathKeys(r); err != nil {
+		return err
+	}
+	p.Epoch = r.Uvarint()
+	return r.Err()
+}
+
+// EncodeState serializes a State with the deterministic wire codec. The
+// encoding is canonical — one byte sequence per state — so replica blobs
+// diff cleanly and journal snapshots can be golden-pinned. (This replaced
+// the last gob fallback; gob now survives only as a comparison baseline
+// in _test files.)
+func EncodeState(st *State) ([]byte, error) {
+	if st.Tree == nil {
+		return nil, fmt.Errorf("area: encoding state: nil tree snapshot")
+	}
+	b := []byte{stateFormatV1}
+	b = codec.AppendString(b, st.AreaID)
+	b = codec.AppendUvarint(b, st.Seq)
+	b = st.Tree.AppendWire(b)
+	b = codec.AppendUvarint(b, uint64(len(st.Members)))
+	for _, m := range st.Members {
+		b = m.AppendWire(b)
+	}
+	if st.Parent != nil {
+		b = codec.AppendBool(b, true)
+		b = st.Parent.AppendWire(b)
+	} else {
+		b = codec.AppendBool(b, false)
+	}
+	return b, nil
+}
+
+// DecodeState reverses EncodeState. Structural validity of the tree is
+// checked later by keytree.Import; this layer only guarantees the bytes
+// parse canonically and no length prefix out-allocates the input.
 func DecodeState(b []byte) (*State, error) {
-	var st State
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+	r := codec.NewReader(b)
+	if v := r.Byte(); r.Err() == nil && v != stateFormatV1 {
+		return nil, fmt.Errorf("area: decoding state: unknown format version %d", v)
+	}
+	st := &State{
+		AreaID: r.String(),
+		Seq:    r.Uvarint(),
+	}
+	var err error
+	if st.Tree, err = keytree.ReadSnapshot(r); err != nil {
+		return nil, fmt.Errorf("area: decoding state tree: %w", err)
+	}
+	if n := r.Count(memberStateMinWire); n > 0 {
+		st.Members = make([]MemberState, n)
+		for i := range st.Members {
+			if err := st.Members[i].ReadWire(r); err != nil {
+				return nil, fmt.Errorf("area: decoding member state: %w", err)
+			}
+		}
+	}
+	if r.Bool() {
+		st.Parent = &ParentStateExport{}
+		if err := st.Parent.ReadWire(r); err != nil {
+			return nil, fmt.Errorf("area: decoding parent state: %w", err)
+		}
+	}
+	if err := r.Finish(); err != nil {
 		return nil, fmt.Errorf("area: decoding state: %w", err)
 	}
-	return &st, nil
+	return st, nil
 }
 
 // NewFromState builds a controller whose area state (tree, members,
@@ -115,7 +214,7 @@ func NewFromState(cfg Config, st *State) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree, err := keytree.Import(st.Tree, keytree.Config{Parallel: c.treeParallel})
+	tree, err := keytree.Import(st.Tree, c.treeConfig())
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("area: restoring tree: %w", err)

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"testing"
+
+	"mykil/internal/journal"
+)
+
+func TestJournalThroughputSmoke(t *testing.T) {
+	rows, err := JournalThroughput(200, 128)
+	if err != nil {
+		t.Fatalf("JournalThroughput: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.RecsPerSec() <= 0 {
+			t.Errorf("policy %v: nonpositive rate", r.Policy)
+		}
+	}
+	if rows[0].Syncs < rows[1].Syncs || rows[1].Syncs < rows[2].Syncs {
+		t.Errorf("sync counts not ordered always ≥ interval ≥ never: %d %d %d",
+			rows[0].Syncs, rows[1].Syncs, rows[2].Syncs)
+	}
+	_ = JournalThroughputTable(rows, 128) // must not panic
+}
+
+func TestRecoveryVsRejoinSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-group experiment")
+	}
+	r, err := RecoveryVsRejoin(6, 512)
+	if err != nil {
+		t.Fatalf("RecoveryVsRejoin: %v", err)
+	}
+	if !r.RecoveryBeatsRejoin() {
+		t.Errorf("recovery did not beat whole-area rejoin: %+v", r)
+	}
+	_ = r.Table()
+}
+
+func BenchmarkJournalAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	for _, policy := range []journal.FsyncPolicy{journal.FsyncAlways, journal.FsyncInterval, journal.FsyncNever} {
+		b.Run(policy.String(), func(b *testing.B) {
+			j, _, err := journal.Open(journal.Options{Dir: b.TempDir(), Fsync: policy})
+			if err != nil {
+				b.Fatalf("journal.Open: %v", err)
+			}
+			defer func() { _ = j.Close() }()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := j.Append(payload); err != nil {
+					b.Fatalf("Append: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,10 @@ type LatencyResult struct {
 	Join           stats.Histogram
 	Rejoin         stats.Histogram
 	RejoinNoVerify stats.Histogram
+	// DroppedOverflow counts sim.dropped.overflow across both runs: any
+	// queue overflow stalls a protocol step into its retry path and
+	// poisons the timing.
+	DroppedOverflow int64
 }
 
 // JoinRejoinLatency measures the three §V-D protocol variants: the full
@@ -56,6 +60,7 @@ func JoinRejoinLatency(cfg LatencyConfig) (*LatencyResult, error) {
 		}
 		defer func() {
 			g.Close()
+			r.DroppedOverflow += net.Stats().Value(simnet.StatDroppedOverflow)
 			net.Close()
 		}()
 		if err := g.WarmMemberKeys(cfg.Iterations); err != nil {
@@ -128,6 +133,7 @@ func (r *LatencyResult) Table() *Table {
 		Notes: []string{
 			"absolute times reflect this host, not the paper's Pentium-III testbed",
 			"shape target: rejoin ≤ join; rejoin without steps 4-5 clearly fastest",
+			fmt.Sprintf("sim.dropped.overflow=%d (nonzero means retries inflated the times)", r.DroppedOverflow),
 		},
 	}
 }

@@ -18,6 +18,20 @@ type ProtocolCostRow struct {
 	Messages int64
 	Bytes    int64
 	RSJoins  int64 // registrations the RS processed during the run
+	// Dropped sums every sim.dropped.* counter over the measurement
+	// window. A nonzero value — queue overflow above all — means frames
+	// the cost accounting never saw, so the row is suspect.
+	Dropped int64
+}
+
+// droppedTotal sums the simulated network's drop counters.
+func droppedTotal(net *simnet.Network) int64 {
+	s := net.Stats()
+	return s.Value(simnet.StatDroppedOverflow) +
+		s.Value(simnet.StatDroppedRate) +
+		s.Value(simnet.StatDroppedPartition) +
+		s.Value(simnet.StatDroppedCrashed) +
+		s.Value(simnet.StatDroppedClosed)
 }
 
 // ProtocolCosts runs one join, one verified rejoin, and one unverified
@@ -60,23 +74,26 @@ func ProtocolCosts(rsaBits int) ([]ProtocolCostRow, error) {
 			time.Sleep(5 * time.Millisecond)
 		}
 
-		snap := func() (int64, int64) {
-			return net.Stats().Value(simnet.StatSentMsgs), net.Stats().Value(simnet.StatSentBytes)
+		snap := func() (int64, int64, int64) {
+			return net.Stats().Value(simnet.StatSentMsgs),
+				net.Stats().Value(simnet.StatSentBytes),
+				droppedTotal(net)
 		}
 
 		m, err := g.NewMember("cost-probe", core.MemberConfig{})
 		if err != nil {
 			return join, rejoin, err
 		}
-		m0, b0 := snap()
+		m0, b0, d0 := snap()
 		if err := m.Join(); err != nil {
 			return join, rejoin, err
 		}
-		m1, b1 := snap()
+		m1, b1, d1 := snap()
 		join = ProtocolCostRow{
 			Messages: m1 - m0,
 			Bytes:    b1 - b0,
 			RSJoins:  g.RS.Joins(),
+			Dropped:  d1 - d0,
 		}
 
 		home := m.ControllerID()
@@ -89,15 +106,16 @@ func ProtocolCosts(rsaBits int) ([]ProtocolCostRow, error) {
 		if err := m.Leave(); err != nil {
 			return join, rejoin, err
 		}
-		m2, b2 := snap()
+		m2, b2, d2 := snap()
 		if err := m.Rejoin(target); err != nil {
 			return join, rejoin, err
 		}
-		m3, b3 := snap()
+		m3, b3, d3 := snap()
 		rejoin = ProtocolCostRow{
 			Messages: m3 - m2,
 			Bytes:    b3 - b2,
 			RSJoins:  g.RS.Joins() - join.RSJoins,
+			Dropped:  d3 - d2,
 		}
 		return join, rejoin, nil
 	}
@@ -120,14 +138,16 @@ func ProtocolCosts(rsaBits int) ([]ProtocolCostRow, error) {
 func ProtocolCostTable(rows []ProtocolCostRow, rsaBits int) *Table {
 	t := &Table{
 		Title:   fmt.Sprintf("§V-D protocol message costs (RSA-%d, quiet network)", rsaBits),
-		Headers: []string{"protocol", "frames", "bytes", "RS registrations"},
+		Headers: []string{"protocol", "frames", "bytes", "RS registrations", "dropped"},
 		Notes: []string{
 			"paper: the rejoin avoids the registration server entirely, shedding its load",
+			"dropped sums sim.dropped.* (overflow included); nonzero means frames the counters missed",
 		},
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
 			r.Protocol, fmt.Sprint(r.Messages), fmt.Sprint(r.Bytes), fmt.Sprint(r.RSJoins),
+			fmt.Sprint(r.Dropped),
 		})
 	}
 	return t

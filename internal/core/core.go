@@ -8,12 +8,14 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"mykil/internal/area"
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
+	"mykil/internal/journal"
 	"mykil/internal/member"
 	"mykil/internal/regserver"
 	"mykil/internal/replica"
@@ -71,6 +73,19 @@ type Config struct {
 	VerifyTimeout  time.Duration
 	HeartbeatEvery time.Duration
 	OpTimeout      time.Duration
+	// JournalDir, if non-empty, makes controllers and the registration
+	// server durable: each controller journals under
+	// <JournalDir>/<acID>, the registration server under
+	// <JournalDir>/rs. On New, any state those journals hold is
+	// recovered first, so building a group over an existing JournalDir
+	// is a restart, not a fresh deployment.
+	JournalDir string
+	// FsyncPolicy is the journal sync discipline: "always", "interval",
+	// or "never" ("" means always). Only meaningful with JournalDir.
+	FsyncPolicy string
+	// SegmentBytes overrides the journal segment rotation threshold;
+	// zero means the journal default.
+	SegmentBytes int64
 	// Logf, if set, receives debug logging from every component.
 	Logf func(format string, args ...any)
 }
@@ -90,6 +105,12 @@ type Group struct {
 	pool        *crypt.Pool
 	rsKeys      *crypt.KeyPair
 	kShared     crypt.SymKey
+
+	// Durability (only populated when cfg.JournalDir is set).
+	acCfgs     []area.Config
+	acJournals []*journal.Journal
+	rsJournal  *journal.Journal
+	recovered  []string
 
 	mu         sync.Mutex
 	members    map[string]*member.Member
@@ -217,6 +238,29 @@ func New(cfg Config) (*Group, error) {
 		}
 	}
 
+	// Journal sync discipline, validated once up front.
+	fsync, err := journal.ParseFsyncPolicy(cfg.FsyncPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	openJournal := func(name string) (*journal.Journal, *journal.Recovery, error) {
+		j, rec, err := journal.Open(journal.Options{
+			Dir:          filepath.Join(cfg.JournalDir, name),
+			Fsync:        fsync,
+			SegmentBytes: cfg.SegmentBytes,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: opening journal for %s: %w", name, err)
+		}
+		if !rec.Empty() {
+			g.recovered = append(g.recovered, fmt.Sprintf(
+				"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
+				name, rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
+		}
+		return j, rec, nil
+	}
+
 	// Controllers, root first so parents exist before children join.
 	for i := 0; i < cfg.NumAreas; i++ {
 		acCfg := area.Config{
@@ -262,10 +306,22 @@ func New(cfg Config) (*Group, error) {
 				Pub:  backupKeys[i].Public(),
 			}
 		}
-		ctrl, err := area.New(acCfg)
+		var ctrl *area.Controller
+		if cfg.JournalDir != "" {
+			j, rec, jerr := openJournal(ACID(i))
+			if jerr != nil {
+				return nil, jerr
+			}
+			acCfg.Journal = j
+			g.acJournals = append(g.acJournals, j)
+			ctrl, err = area.NewFromJournal(acCfg, rec)
+		} else {
+			ctrl, err = area.New(acCfg)
+		}
 		if err != nil {
 			return nil, err
 		}
+		g.acCfgs = append(g.acCfgs, acCfg)
 		g.controllers = append(g.controllers, ctrl)
 	}
 
@@ -279,6 +335,13 @@ func New(cfg Config) (*Group, error) {
 			if hb == 0 {
 				hb = area.DefaultTIdle
 			}
+			// With journaling on, seed the backup with the primary's
+			// boot state: if the primary dies before a single hot sync,
+			// the backup can still cold-restore from what disk held.
+			var cold *area.State
+			if cfg.JournalDir != "" {
+				cold = g.controllers[i].BootState()
+			}
 			b, err := replica.New(replica.Config{
 				ID:             fmt.Sprintf("backup-%d", i),
 				Transport:      backupTrs[i],
@@ -287,6 +350,7 @@ func New(cfg Config) (*Group, error) {
 				PrimaryID:      ACID(i),
 				PrimaryPub:     ctrlKeys[i].Public(),
 				HeartbeatEvery: hb,
+				ColdState:      cold,
 				ControllerConfig: area.Config{
 					KShared:       g.kShared,
 					RSPub:         g.rsKeys.Public(),
@@ -308,14 +372,24 @@ func New(cfg Config) (*Group, error) {
 			g.backups = append(g.backups, b)
 		}
 	}
-	rs, err := regserver.New(regserver.Config{
+	rsCfg := regserver.Config{
 		Transport:   rsTr,
 		Keys:        g.rsKeys,
 		Clock:       cfg.Clock,
 		Auth:        regserver.StaticAuthorizer(cfg.AuthDB),
 		Controllers: g.ctrlInfo,
 		Logf:        cfg.Logf,
-	})
+	}
+	if cfg.JournalDir != "" {
+		j, rec, jerr := openJournal("rs")
+		if jerr != nil {
+			return nil, jerr
+		}
+		g.rsJournal = j
+		rsCfg.Journal = j
+		rsCfg.Recovery = rec
+	}
+	rs, err := regserver.New(rsCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +407,69 @@ func New(cfg Config) (*Group, error) {
 }
 
 // Controller returns controller i.
-func (g *Group) Controller(i int) *area.Controller { return g.controllers[i] }
+func (g *Group) Controller(i int) *area.Controller {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.controllers[i]
+}
+
+// RestartController kills controller i without a clean shutdown and
+// rebuilds it from its journal: the loop stops, the journal's file
+// descriptors are abandoned un-synced (a crash, as far as disk state is
+// concerned), and a fresh controller recovers from whatever the chosen
+// FsyncPolicy made durable. The restarted controller reuses the same
+// transport, so members keep talking to the same address. Requires
+// Config.JournalDir.
+func (g *Group) RestartController(i int) error {
+	if g.cfg.JournalDir == "" {
+		return fmt.Errorf("core: RestartController requires JournalDir")
+	}
+	g.mu.Lock()
+	old := g.controllers[i]
+	g.mu.Unlock()
+
+	old.Close()
+	g.acJournals[i].Abandon()
+
+	fsync, err := journal.ParseFsyncPolicy(g.cfg.FsyncPolicy)
+	if err != nil {
+		return err
+	}
+	j, rec, err := journal.Open(journal.Options{
+		Dir:          filepath.Join(g.cfg.JournalDir, ACID(i)),
+		Fsync:        fsync,
+		SegmentBytes: g.cfg.SegmentBytes,
+		Logf:         g.cfg.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("core: reopening journal for %s: %w", ACID(i), err)
+	}
+	acCfg := g.acCfgs[i]
+	acCfg.Journal = j
+	ctrl, err := area.NewFromJournal(acCfg, rec)
+	if err != nil {
+		_ = j.Close()
+		return fmt.Errorf("core: recovering %s: %w", ACID(i), err)
+	}
+	g.mu.Lock()
+	g.acJournals[i] = j
+	g.controllers[i] = ctrl
+	g.recovered = append(g.recovered, fmt.Sprintf(
+		"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
+		ACID(i), rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
+	g.mu.Unlock()
+	ctrl.Start()
+	return nil
+}
+
+// RecoverySummary reports, one line per component, what was restored
+// from journals — both at New over an existing JournalDir and by
+// RestartController calls since.
+func (g *Group) RecoverySummary() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.recovered...)
+}
 
 // NumAreas returns the configured number of areas.
 func (g *Group) NumAreas() int { return len(g.controllers) }
@@ -455,6 +591,13 @@ func (g *Group) Close() {
 	}
 	for _, c := range g.controllers {
 		c.Close()
+	}
+	// Journals close after their owners stop appending.
+	for _, j := range g.acJournals {
+		_ = j.Close()
+	}
+	if g.rsJournal != nil {
+		_ = g.rsJournal.Close()
 	}
 	for _, tr := range transports {
 		_ = tr.Close()

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mykil/internal/area"
+	"mykil/internal/member"
+)
+
+// journalTiming keeps the idle window comfortably wider than a restart,
+// so a transparent recovery never trips member-side failure detection,
+// and pushes freshness rekeys out of the way so both runs see a purely
+// operation-driven epoch sequence.
+func journalTiming(dir string) Config {
+	return Config{
+		NumAreas:       1,
+		RSABits:        512,
+		TIdle:          150 * time.Millisecond,
+		TActive:        50 * time.Millisecond,
+		RekeyInterval:  time.Hour,
+		VerifyTimeout:  500 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+		OpTimeout:      10 * time.Second,
+		JournalDir:     dir,
+		FsyncPolicy:    "always",
+	}
+}
+
+// churn joins m0..m5 (collecting deliveries) and has m4 and m5 leave.
+func churn(t *testing.T, g *Group, recv []*collector) []*member.Member {
+	t.Helper()
+	members := make([]*member.Member, 6)
+	for i := range members {
+		m, err := g.AddMember(fmt.Sprintf("m%d", i), MemberConfig{
+			OnData:     recv[i].onData,
+			AutoRejoin: true,
+		})
+		if err != nil {
+			t.Fatalf("AddMember m%d: %v", i, err)
+		}
+		members[i] = m
+	}
+	for _, id := range []int{4, 5} {
+		if err := members[id].Leave(); err != nil {
+			t.Fatalf("m%d leave: %v", id, err)
+		}
+	}
+	waitFor(t, "leaves processed", 5*time.Second, func() bool {
+		return g.Controller(0).NumMembers() == 4
+	})
+	return members
+}
+
+// TestControllerCrashRestart is the acceptance scenario for the journal
+// subsystem: a controller journaling under FsyncPolicy=always is killed
+// after a batch of joins and leaves and rebuilt from disk. The restarted
+// controller must carry the identical keytree epoch and member set as a
+// never-crashed control run of the same script, admit zero rejoins, and
+// keep rekeying a group whose members never noticed the crash.
+func TestControllerCrashRestart(t *testing.T) {
+	crashRecv := make([]*collector, 7)
+	ctrlRecv := make([]*collector, 7)
+	for i := range crashRecv {
+		crashRecv[i] = &collector{}
+		ctrlRecv[i] = &collector{}
+	}
+
+	crashGrp, err := New(journalTiming(t.TempDir()))
+	if err != nil {
+		t.Fatalf("New (crash group): %v", err)
+	}
+	defer crashGrp.Close()
+	control, err := New(journalTiming(t.TempDir()))
+	if err != nil {
+		t.Fatalf("New (control group): %v", err)
+	}
+	defer control.Close()
+
+	crashMembers := churn(t, crashGrp, crashRecv[:6])
+	churn(t, control, ctrlRecv[:6])
+
+	epochBefore := crashGrp.Controller(0).Epoch()
+
+	// Kill and restart: the journal's descriptors are abandoned without
+	// a final sync, then a fresh controller recovers from disk.
+	if err := crashGrp.RestartController(0); err != nil {
+		t.Fatalf("RestartController: %v", err)
+	}
+	if len(crashGrp.RecoverySummary()) == 0 {
+		t.Error("RecoverySummary empty after a restart")
+	}
+
+	// Identical epoch and member set, against both the pre-crash value
+	// and the never-crashed control run.
+	restarted := crashGrp.Controller(0)
+	if got := restarted.Epoch(); got != epochBefore {
+		t.Fatalf("epoch after restart = %d, want %d", got, epochBefore)
+	}
+	if got, want := restarted.Epoch(), control.Controller(0).Epoch(); got != want {
+		t.Fatalf("epoch after restart = %d, control run = %d", got, want)
+	}
+	if got, want := restarted.NumMembers(), control.Controller(0).NumMembers(); got != want {
+		t.Fatalf("members after restart = %d, control run = %d", got, want)
+	}
+	for i := 0; i < 4; i++ {
+		if !restarted.HasMember(fmt.Sprintf("m%d", i)) {
+			t.Fatalf("member m%d lost across restart", i)
+		}
+	}
+	for _, id := range []string{"m4", "m5"} {
+		if restarted.HasMember(id) {
+			t.Fatalf("departed member %s resurrected by restart", id)
+		}
+	}
+
+	// A post-restart join must rekey the whole area: recovery replayed
+	// the journaled per-operation key seeds, so the restarted tree holds
+	// byte-identical keys and surviving members can decrypt the new
+	// epoch's key update without rejoining.
+	for grp, recv := range map[*Group][]*collector{crashGrp: crashRecv, control: ctrlRecv} {
+		if _, err := grp.AddMember("m6", MemberConfig{OnData: recv[6].onData, AutoRejoin: true}); err != nil {
+			t.Fatalf("AddMember m6: %v", err)
+		}
+	}
+	if got, want := restarted.Epoch(), control.Controller(0).Epoch(); got != want {
+		t.Fatalf("post-restart rekey epoch = %d, control run = %d", got, want)
+	}
+	if err := crashGrp.Member("m0").Send([]byte("post-crash")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	for _, i := range []int{1, 2, 3, 6} {
+		waitFor(t, fmt.Sprintf("delivery to m%d", i), 5*time.Second, func() bool {
+			return crashRecv[i].has("m0:post-crash")
+		})
+	}
+
+	// Zero rejoins: members kept their keys and sessions; nothing in
+	// the recovery path forced a ticket readmission.
+	if got := restarted.Stats().Value(area.StatRejoins); got != 0 {
+		t.Errorf("restarted controller admitted %d rejoins, want 0", got)
+	}
+	for i, m := range crashMembers[:4] {
+		if !m.Connected() || m.ControllerID() != ACID(0) {
+			t.Errorf("member m%d lost its session across the restart", i)
+		}
+	}
+}

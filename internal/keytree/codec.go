@@ -97,3 +97,59 @@ func ReadPathKeys(r *codec.Reader) ([]PathKey, error) {
 	}
 	return ps, nil
 }
+
+// snapshotNodeMinWire is the smallest encoded SnapshotNode: one-byte
+// varint ID, one-byte varint parent index, the fixed-width key, and an
+// empty member-ID length prefix.
+const snapshotNodeMinWire = 2 + crypt.SymKeyLen + 1
+
+// AppendWire appends the node's compact encoding.
+func (sn SnapshotNode) AppendWire(b []byte) []byte {
+	b = codec.AppendVarint(b, int64(sn.ID))
+	b = codec.AppendVarint(b, int64(sn.Parent))
+	b = codec.AppendRaw(b, sn.Key[:])
+	return codec.AppendString(b, string(sn.Member))
+}
+
+// ReadWire decodes a SnapshotNode written by AppendWire.
+func (sn *SnapshotNode) ReadWire(r *codec.Reader) error {
+	sn.ID = NodeID(r.Varint())
+	sn.Parent = int(r.Varint())
+	copy(sn.Key[:], r.Raw(crypt.SymKeyLen))
+	sn.Member = MemberID(r.String())
+	return r.Err()
+}
+
+// AppendWire appends the full tree snapshot: arity, epoch, and the
+// pre-order node list. This is the image the replica protocol ships and
+// the journal persists; Import validates structure after decoding.
+func (s *Snapshot) AppendWire(b []byte) []byte {
+	b = codec.AppendUvarint(b, uint64(s.Arity))
+	b = codec.AppendUvarint(b, s.Epoch)
+	b = codec.AppendUvarint(b, uint64(len(s.Nodes)))
+	for _, sn := range s.Nodes {
+		b = sn.AppendWire(b)
+	}
+	return b
+}
+
+// ReadSnapshot decodes an AppendWire snapshot.
+func ReadSnapshot(r *codec.Reader) (*Snapshot, error) {
+	s := &Snapshot{
+		Arity: int(r.Uvarint()),
+		Epoch: r.Uvarint(),
+	}
+	n := r.Count(snapshotNodeMinWire)
+	if n > 0 {
+		s.Nodes = make([]SnapshotNode, n)
+		for i := range s.Nodes {
+			if err := s.Nodes[i].ReadWire(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

@@ -10,7 +10,8 @@ import (
 
 // Snapshot is a serializable image of a Tree, exchanged between a primary
 // area controller and its backup (§IV-C: the replicated state includes
-// "the complete auxiliary tree"). Fields are exported for encoding/gob.
+// "the complete auxiliary tree"), and persisted in journal snapshots; the
+// compact encoding lives in codec.go.
 type Snapshot struct {
 	Arity int
 	Epoch uint64

@@ -452,12 +452,21 @@ func (t *Tree) Batch(joins, leaves []MemberID) (*BatchResult, error) {
 		}
 	}
 
-	// Assign new keys to every changed node that was not freshly created.
+	// Assign new keys to every changed node that was not freshly created,
+	// in sorted node order: KeyGen draws must happen in a reproducible
+	// sequence so a journaled batch replays to the identical tree (map
+	// iteration order would scramble seeded key streams).
+	changedIDs := make([]NodeID, 0, len(changed))
+	for id := range changed {
+		changedIDs = append(changedIDs, id)
+	}
+	sort.Slice(changedIDs, func(a, b int) bool { return changedIDs[a] < changedIDs[b] })
 	oldKeys := make(map[NodeID]crypt.SymKey, len(changed))
-	for id, n := range changed {
+	for _, id := range changedIDs {
 		if fresh[id] {
 			continue
 		}
+		n := changed[id]
 		oldKeys[id] = n.key
 		n.key = t.cfg.KeyGen()
 	}

@@ -1,0 +1,127 @@
+package regserver
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mykil/internal/journal"
+	"mykil/internal/simnet"
+	"mykil/internal/transport"
+	"mykil/internal/wire"
+)
+
+// journaledServer builds a server backed by a journal in dir, recovering
+// whatever state the journal holds.
+func journaledServer(t *testing.T, net *simnet.Network, dir, addr string) (*Server, *journal.Journal) {
+	t.Helper()
+	j, rec, err := journal.Open(journal.Options{Dir: dir, Fsync: journal.FsyncAlways})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	tr, err := transport.NewSim(net, addr)
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Close() })
+	srv, err := New(Config{
+		Transport:     tr,
+		Keys:          keyPair(t),
+		Auth:          StaticAuthorizer{"good": time.Hour},
+		Controllers:   []wire.ACInfo{{ID: "ac-0", Addr: "ac-0", PubDER: keyPair(t).Public().Marshal()}},
+		Journal:       j,
+		Recovery:      rec,
+		SnapshotEvery: 4, // small, so the test crosses a snapshot boundary
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.Start()
+	return srv, j
+}
+
+// TestRegistryRestart admits a batch of clients, kills the server without
+// a clean shutdown, and checks a restarted server recovers the full
+// registry and K_shared epoch from disk.
+func TestRegistryRestart(t *testing.T) {
+	dir := t.TempDir()
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+
+	srv, j := journaledServer(t, net, dir, "rs-a")
+	const n = 10
+	admitted := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	_ = srv.loop.Call(func() {
+		for i := 0; i < n; i++ {
+			srv.journalAdmit(RegisteredMember{
+				ClientID:   fmt.Sprintf("c%d", i),
+				Controller: "ac-0",
+				Duration:   time.Duration(i+1) * time.Minute,
+				Admitted:   admitted.Add(time.Duration(i) * time.Second),
+			})
+		}
+	})
+	if e := srv.BumpKSharedEpoch(); e != 1 {
+		t.Fatalf("first epoch bump = %d", e)
+	}
+	if e := srv.BumpKSharedEpoch(); e != 2 {
+		t.Fatalf("second epoch bump = %d", e)
+	}
+	srv.Close()
+	j.Abandon() // crash: no clean journal close
+
+	srv2, j2 := journaledServer(t, net, dir, "rs-b")
+	defer func() {
+		srv2.Close()
+		_ = j2.Close()
+	}()
+	if got := srv2.NumRegistered(); got != n {
+		t.Fatalf("NumRegistered after restart = %d, want %d", got, n)
+	}
+	if got := srv2.Joins(); got != n {
+		t.Fatalf("Joins after restart = %d, want %d", got, n)
+	}
+	if got := srv2.KSharedEpoch(); got != 2 {
+		t.Fatalf("KSharedEpoch after restart = %d, want 2", got)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("c%d", i)
+		m, ok := srv2.Registered(id)
+		if !ok {
+			t.Fatalf("client %s lost across restart", id)
+		}
+		want := RegisteredMember{
+			ClientID:   id,
+			Controller: "ac-0",
+			Duration:   time.Duration(i+1) * time.Minute,
+			Admitted:   admitted.Add(time.Duration(i) * time.Second),
+		}
+		if m != want {
+			t.Errorf("client %s restored as %+v, want %+v", id, m, want)
+		}
+	}
+}
+
+// TestRegistryRestartEmpty checks a journal with no records restores a
+// pristine server.
+func TestRegistryRestartEmpty(t *testing.T) {
+	dir := t.TempDir()
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+
+	srv, j := journaledServer(t, net, dir, "rs-a")
+	srv.Close()
+	j.Abandon()
+
+	srv2, j2 := journaledServer(t, net, dir, "rs-b")
+	defer func() {
+		srv2.Close()
+		_ = j2.Close()
+	}()
+	if got := srv2.NumRegistered(); got != 0 {
+		t.Fatalf("NumRegistered = %d, want 0", got)
+	}
+	if got := srv2.KSharedEpoch(); got != 0 {
+		t.Fatalf("KSharedEpoch = %d, want 0", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
+	"mykil/internal/journal"
 	"mykil/internal/node"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
@@ -111,6 +112,15 @@ type Config struct {
 	Controllers []wire.ACInfo
 	// Picker selects an area per client; nil means round-robin.
 	Picker AreaPicker
+	// Journal, if set, makes the member registry and K_shared epoch
+	// durable across restarts.
+	Journal *journal.Journal
+	// Recovery, if set, is replayed into the registry before serving
+	// (pass the Recovery returned by journal.Open alongside Journal).
+	Recovery *journal.Recovery
+	// SnapshotEvery spaces registry snapshots in records; zero means
+	// DefaultSnapshotEvery.
+	SnapshotEvery int
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -134,6 +144,12 @@ type Server struct {
 
 	// sessions holds half-completed handshakes (loop-owned).
 	sessions map[string]*session
+	// registry is the durable member registry (loop-owned after Start).
+	registry map[string]RegisteredMember
+	// ksharedEpoch is the durable shared ticket-key epoch (loop-owned).
+	ksharedEpoch uint64
+	// recsSinceSnap counts journal records since the last snapshot.
+	recsSinceSnap int
 	// joins counts completed admissions, for tests and load stats; atomic
 	// so it stays readable after Close.
 	joins atomic.Int64
@@ -158,10 +174,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = DefaultSnapshotEvery
+	}
 	s := &Server{
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		sessions: make(map[string]*session),
+		registry: make(map[string]RegisteredMember),
+	}
+	if err := s.restoreFromJournal(cfg.Recovery); err != nil {
+		return nil, err
 	}
 	s.loop = node.New(node.Config{
 		Name:      "regserver",
@@ -287,6 +310,14 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 		Directory:    append([]wire.ACInfo(nil), s.cfg.Controllers...),
 	}, true)
 
+	// Durability point: the admission is journaled before being counted,
+	// so a restarted server still knows this client and its controller.
+	s.journalAdmit(RegisteredMember{
+		ClientID:   sess.clientID,
+		Controller: ac.ID,
+		Duration:   sess.duration,
+		Admitted:   now,
+	})
 	s.joins.Add(1)
 	s.cfg.Logf("regserver: admitted %s to area controller %s (duration %v)",
 		sess.clientID, ac.ID, sess.duration)

@@ -52,6 +52,12 @@ type Config struct {
 	// Directory, timing...). Transport, Keys, ID, Clock are overridden
 	// with the backup's own.
 	ControllerConfig area.Config
+	// ColdState, if set, is a state recovered from a durable journal. It
+	// lets the backup promote even when the primary died before sending a
+	// single snapshot or heartbeat: after a takeover window of silence
+	// measured from Start, the backup restores from ColdState. A fresher
+	// hot snapshot from the primary always wins.
+	ColdState *area.State
 	// OnPromote, if set, is called with the promoted controller.
 	OnPromote func(*area.Controller)
 	// Logf, if set, receives debug logging.
@@ -71,6 +77,7 @@ type Backup struct {
 	stateSeq  uint64
 	lastHB    time.Time
 	hbSeen    bool
+	started   time.Time
 	promoted  *area.Controller
 	syncCount int64
 
@@ -117,6 +124,9 @@ func New(cfg Config) (*Backup, error) {
 
 // Start launches the monitoring loop.
 func (b *Backup) Start() {
+	b.mu.Lock()
+	b.started = b.clk.Now()
+	b.mu.Unlock()
 	b.loop.Start()
 }
 
@@ -237,16 +247,26 @@ func (b *Backup) handleHeartbeat(f *wire.Frame) {
 // when the primary has been silent past the takeover window.
 func (b *Backup) maybePromote() *area.Controller {
 	b.mu.Lock()
-	if b.promoted != nil || !b.hbSeen || b.state == nil {
+	st := b.state
+	if st == nil {
+		st = b.cfg.ColdState
+	}
+	if b.promoted != nil || st == nil {
 		b.mu.Unlock()
 		return nil
 	}
-	silence := b.clk.Now().Sub(b.lastHB)
+	// With no heartbeat ever heard, silence runs from Start: a cold
+	// restore only fires after the primary had a full takeover window to
+	// show signs of life.
+	since := b.lastHB
+	if !b.hbSeen {
+		since = b.started
+	}
+	silence := b.clk.Now().Sub(since)
 	if silence <= b.takeover {
 		b.mu.Unlock()
 		return nil
 	}
-	st := b.state
 	b.mu.Unlock()
 
 	b.cfg.Logf("%s: primary %s silent for %v; promoting", b.cfg.ID, b.cfg.PrimaryID, silence)
