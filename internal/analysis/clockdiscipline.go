@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// clockdiscipline forbids reading or waiting on the wall clock directly.
+// Journal replay determinism and the §IV-A failure detectors (T_idle,
+// T_active, 5× silence windows) all assume every timer flows through the
+// injected clock.Clock, so tests can drive them with a fake clock and
+// recovery replays the exact timeline the live run journaled. A single
+// raw time.Now in a protocol component silently re-couples it to the
+// wall clock.
+//
+// Exempt: the clock package itself (it wraps the real clock), package
+// main (drivers and examples are wall-clock programs by nature), and
+// test files (not analyzed at all). Measurement harnesses opt out with
+// //lint:file-ignore clockdiscipline <reason>.
+
+// bannedTimeFuncs are the time package entry points that read or wait on
+// the wall clock. Pure data helpers (Duration arithmetic, Date, Parse,
+// Unix) stay allowed.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func init() {
+	Register(&Check{
+		Name: "clockdiscipline",
+		Doc: "direct time.Now/Sleep/After/Since/Until/NewTimer/NewTicker outside internal/clock;\n" +
+			"protocol components must use the injected clock.Clock so journal replay and the\n" +
+			"§IV failure detectors stay deterministic (package main and tests exempt)",
+		Run: runClockDiscipline,
+	})
+}
+
+func runClockDiscipline(p *Pass) {
+	if p.Name == "main" || strings.HasSuffix(p.Path, "internal/clock") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || p.PkgNameOf(id) != "time" || !bannedTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "direct time.%s bypasses the injected clock.Clock; thread a clock through the config (replay determinism, §IV timers)", sel.Sel.Name)
+			return true
+		})
+	}
+}

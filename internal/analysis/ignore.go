@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives, staticcheck-compatible in spelling:
+//
+//	//lint:ignore check1,check2 reason       — suppresses matching
+//	    diagnostics on the directive's own line (trailing comment) or on
+//	    the line immediately below it (directive on its own line).
+//	//lint:file-ignore check1,check2 reason  — suppresses matching
+//	    diagnostics anywhere in the file; conventionally placed at the top.
+//
+// The reason is mandatory and the check names must exist, so every
+// suppression in the tree says what it silences and why.
+
+const (
+	dirIgnore     = "//lint:ignore"
+	dirFileIgnore = "//lint:file-ignore"
+	// dirCheckName is the pseudo-check under which malformed directives
+	// are reported. It is not registered and cannot be suppressed.
+	dirCheckName = "lint-directive"
+)
+
+// lineIgnore is one parsed //lint:ignore directive.
+type lineIgnore struct {
+	line   int
+	checks map[string]bool
+}
+
+// directiveSet indexes a package's suppressions by file.
+type directiveSet struct {
+	byFile map[string][]lineIgnore
+	whole  map[string]map[string]bool // file -> suppressed checks
+}
+
+// suppressed reports whether the diagnostic is covered by a directive.
+// Directive-syntax diagnostics are never suppressible.
+func (ds *directiveSet) suppressed(d Diagnostic) bool {
+	if d.Check == dirCheckName {
+		return false
+	}
+	if checks, ok := ds.whole[d.Pos.Filename]; ok && checks[d.Check] {
+		return true
+	}
+	for _, ig := range ds.byFile[d.Pos.Filename] {
+		if ig.checks[d.Check] && (d.Pos.Line == ig.line || d.Pos.Line == ig.line+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //lint directive in the package and
+// returns the suppression index plus diagnostics for malformed ones.
+func collectDirectives(pkg *Package) (*directiveSet, []Diagnostic) {
+	ds := &directiveSet{
+		byFile: map[string][]lineIgnore{},
+		whole:  map[string]map[string]bool{},
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Check:   dirCheckName,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var fileWide bool
+				var rest string
+				switch {
+				case strings.HasPrefix(text, dirFileIgnore):
+					fileWide, rest = true, text[len(dirFileIgnore):]
+				case strings.HasPrefix(text, dirIgnore):
+					rest = text[len(dirIgnore):]
+				default:
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "//lint directive names no check")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//lint directive for %q is missing a reason", fields[0])
+					continue
+				}
+				checks := map[string]bool{}
+				bad := false
+				for _, name := range strings.Split(fields[0], ",") {
+					if !knownCheck(name) {
+						report(c.Pos(), "//lint directive names unknown check %q", name)
+						bad = true
+						break
+					}
+					checks[name] = true
+				}
+				if bad {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if fileWide {
+					m := ds.whole[pos.Filename]
+					if m == nil {
+						m = map[string]bool{}
+						ds.whole[pos.Filename] = m
+					}
+					for name := range checks {
+						m[name] = true
+					}
+				} else {
+					ds.byFile[pos.Filename] = append(ds.byFile[pos.Filename], lineIgnore{line: pos.Line, checks: checks})
+				}
+			}
+		}
+	}
+	return ds, diags
+}

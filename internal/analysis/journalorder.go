@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// journalorder enforces the crash-consistency ordering from §IV: mutate →
+// journal → send. A handler that transmits an acknowledgement (or any
+// protocol frame derived from new state) before appending that state to
+// the journal can crash in the window between the two; after recovery the
+// peer holds an ack for state the journal never saw, and replay
+// reconstructs a world that disagrees with what was promised on the wire.
+//
+// The check is a reachability approximation, not full dominance analysis:
+// within one function body it collects journal events and transport sends
+// in source order along the "main path". Branches that always terminate
+// (end in return or panic) are diverted — an early denial send inside
+// `if bad { send; return }` never reaches the journal call below it and
+// is not flagged. A send that is followed later on the main path by a
+// journal event is flagged: the journal write must move above it.
+//
+// Journal events: calls to journalXxx helpers, or Append/Snapshot methods
+// on a journal.Journal. Sends: send*/multicast*/sealSend* helpers, or a
+// Send method on a Transport. Function literals are analyzed as their own
+// units (they run at a different time than the enclosing body).
+
+var (
+	journalCallRE = regexp.MustCompile(`^journal[A-Z]`)
+	sendCallRE    = regexp.MustCompile(`^(send|multicast|sealSend)`)
+)
+
+func init() {
+	Register(&Check{
+		Name: "journalorder",
+		Doc: "journal Append must precede the corresponding transport send in the same\n" +
+			"function (mutate → journal → send); a crash between send and append leaves\n" +
+			"peers holding acks for state recovery cannot replay (§IV)",
+		Run: runJournalOrder,
+	})
+}
+
+type joKind int
+
+const (
+	joJournal joKind = iota
+	joSend
+)
+
+type joEvent struct {
+	kind joKind
+	pos  token.Pos
+	name string
+}
+
+func runJournalOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkOrdering(p, fn.Body.List)
+				}
+			case *ast.FuncLit:
+				checkOrdering(p, fn.Body.List)
+			}
+			return true
+		})
+	}
+}
+
+// checkOrdering flags every main-path send that a later main-path journal
+// event should have preceded.
+func checkOrdering(p *Pass, stmts []ast.Stmt) {
+	var events []joEvent
+	mainPathEvents(p, stmts, &events)
+	for i, e := range events {
+		if e.kind != joSend {
+			continue
+		}
+		for _, later := range events[i+1:] {
+			if later.kind == joJournal {
+				p.Reportf(e.pos, "%s transmits before %s journals; a crash in between acks state that recovery cannot replay — journal first (§IV)", e.name, later.name)
+				break
+			}
+		}
+	}
+}
+
+// mainPathEvents appends the journal/send events reachable on the fallthrough
+// path of stmts, in source order. Branches that always terminate are
+// diverted and contribute nothing.
+func mainPathEvents(p *Pass, stmts []ast.Stmt, out *[]joEvent) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			scanStmtCalls(p, s.Init, out)
+			scanExprCalls(p, s.Cond, out)
+			if !terminates(s.Body.List) {
+				mainPathEvents(p, s.Body.List, out)
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				if !terminates(e.List) {
+					mainPathEvents(p, e.List, out)
+				}
+			case *ast.IfStmt:
+				mainPathEvents(p, []ast.Stmt{e}, out)
+			}
+		case *ast.ForStmt:
+			scanStmtCalls(p, s.Init, out)
+			scanExprCalls(p, s.Cond, out)
+			mainPathEvents(p, s.Body.List, out)
+			scanStmtCalls(p, s.Post, out)
+		case *ast.RangeStmt:
+			scanExprCalls(p, s.X, out)
+			mainPathEvents(p, s.Body.List, out)
+		case *ast.SwitchStmt:
+			scanStmtCalls(p, s.Init, out)
+			scanExprCalls(p, s.Tag, out)
+			for _, cs := range s.Body.List {
+				if cc, ok := cs.(*ast.CaseClause); ok && !terminates(cc.Body) {
+					mainPathEvents(p, cc.Body, out)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			scanStmtCalls(p, s.Init, out)
+			for _, cs := range s.Body.List {
+				if cc, ok := cs.(*ast.CaseClause); ok && !terminates(cc.Body) {
+					mainPathEvents(p, cc.Body, out)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cs := range s.Body.List {
+				if cc, ok := cs.(*ast.CommClause); ok && !terminates(cc.Body) {
+					mainPathEvents(p, cc.Body, out)
+				}
+			}
+		case *ast.BlockStmt:
+			mainPathEvents(p, s.List, out)
+		case *ast.LabeledStmt:
+			mainPathEvents(p, []ast.Stmt{s.Stmt}, out)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Deferred sends run after every journal call in the body;
+			// goroutine bodies are separate timelines. Neither is ordered
+			// against the main path.
+		default:
+			scanStmtCalls(p, stmt, out)
+		}
+	}
+}
+
+// terminates reports whether a statement list always leaves the function
+// (approximation: ends in return or panic).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	case *ast.IfStmt:
+		elseBlock, ok := last.Else.(*ast.BlockStmt)
+		return ok && terminates(last.Body.List) && terminates(elseBlock.List)
+	}
+	return false
+}
+
+// scanStmtCalls classifies the event calls inside one simple statement,
+// without crossing into nested function literals.
+func scanStmtCalls(p *Pass, stmt ast.Stmt, out *[]joEvent) {
+	if stmt == nil {
+		return
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			classifyCall(p, call, out)
+		}
+		return true
+	})
+}
+
+func scanExprCalls(p *Pass, e ast.Expr, out *[]joEvent) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			classifyCall(p, call, out)
+		}
+		return true
+	})
+}
+
+// classifyCall appends a journal or send event when the call matches the
+// repo's conventions.
+func classifyCall(p *Pass, call *ast.CallExpr, out *[]joEvent) {
+	var name string
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		recv = fun.X
+	default:
+		return
+	}
+	switch {
+	case journalCallRE.MatchString(name):
+		*out = append(*out, joEvent{joJournal, call.Pos(), name})
+	case recv != nil && (name == "Append" || name == "Snapshot") && isNamedType(p.TypeOf(recv), "journal", "Journal"):
+		*out = append(*out, joEvent{joJournal, call.Pos(), "Journal." + name})
+	case sendCallRE.MatchString(name):
+		*out = append(*out, joEvent{joSend, call.Pos(), name})
+	case recv != nil && name == "Send" && isNamedType(p.TypeOf(recv), "", "Transport"):
+		*out = append(*out, joEvent{joSend, call.Pos(), "Transport.Send"})
+	}
+}
+
+// isNamedType reports whether t is (a pointer to) a named type with the
+// given name, from a package with the given name ("" matches any package).
+func isNamedType(t types.Type, pkgName, typeName string) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != typeName {
+		return false
+	}
+	if pkgName == "" {
+		return true
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}

@@ -1,0 +1,19 @@
+// Package baddirectives holds deliberately malformed //lint directives.
+// The test asserts each one is reported under the unsuppressible
+// lint-directive pseudo-check (expectations live in the test, not in
+// want comments, because a trailing comment would parse as the
+// directive's reason).
+package baddirectives
+
+import "time"
+
+//lint:ignore clockdiscipline
+
+//lint:ignore nosuchcheck it does not exist
+
+//lint:ignore
+
+// Flagged shows that a malformed directive suppresses nothing.
+func Flagged() time.Time {
+	return time.Now()
+}

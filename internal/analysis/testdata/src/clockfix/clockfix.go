@@ -1,0 +1,33 @@
+// Package clockfix exercises the clockdiscipline check: every wall-clock
+// entry point must be flagged, while Duration arithmetic stays allowed.
+package clockfix
+
+import "time"
+
+// Deadline is a protocol component reading the clock directly.
+func Deadline() time.Time {
+	return time.Now().Add(5 * time.Second) // want "direct time.Now bypasses the injected clock.Clock"
+}
+
+// Wait blocks directly on the wall clock.
+func Wait() {
+	time.Sleep(time.Second)         // want "direct time.Sleep"
+	<-time.After(time.Second)       // want "direct time.After"
+	t := time.NewTimer(time.Second) // want "direct time.NewTimer"
+	t.Stop()
+	tk := time.NewTicker(time.Second) // want "direct time.NewTicker"
+	tk.Stop()
+}
+
+// Age measures elapsed time against the wall clock.
+func Age(start time.Time) time.Duration {
+	return time.Since(start) // want "direct time.Since"
+}
+
+// Allowed uses only pure time helpers: no diagnostics.
+func Allowed() time.Duration {
+	d := 3 * time.Millisecond
+	u := time.Unix(0, 0)
+	_ = u
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,39 @@
+// Package errcheckiofix exercises errcheck-io: durability-path errors
+// dropped in expression statements are flagged; checked, blank-assigned,
+// and deferred calls are not.
+package errcheckiofix
+
+import "os"
+
+// Flush drops every error the durability path produces.
+func Flush(f *os.File, buf []byte) {
+	f.Write(buf)       // want "error from (*os.File).Write is discarded"
+	f.WriteString("x") // want "error from (*os.File).WriteString is discarded"
+	f.Sync()           // want "error from (*os.File).Sync is discarded"
+	f.Truncate(0)      // want "error from (*os.File).Truncate is discarded"
+	f.Close()          // want "error from (*os.File).Close is discarded"
+}
+
+// Checked handles or deliberately discards every error: no diagnostics.
+func Checked(f *os.File, buf []byte) error {
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSide uses the deferred-close idiom: no diagnostic.
+func ReadSide(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

@@ -1,0 +1,22 @@
+// Package fileignorefix exercises //lint:file-ignore: the named check is
+// silenced for the whole file, every other check still runs.
+package fileignorefix
+
+//lint:file-ignore clockdiscipline this harness measures wall-clock time by design
+
+import (
+	"fmt"
+	"time"
+)
+
+// Measure reads the wall clock freely under the file-wide ignore.
+func Measure() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+// StillChecked shows other checks are unaffected by the file-ignore.
+func StillChecked(groupKey []byte) {
+	fmt.Printf("key=%x\n", groupKey) // want "groupKey carries key material into fmt.Printf"
+}

@@ -1,0 +1,58 @@
+// Package journalorderfix exercises journalorder: a transport send on the
+// main path ahead of the journal append is flagged; denial sends in
+// branches that return early are not.
+package journalorderfix
+
+// controller mimics the repo's journal/send helper conventions.
+type controller struct {
+	admitted map[string]bool
+}
+
+func (c *controller) journalAppend(record string)    {}
+func (c *controller) sendSealed(addr, body string)   {}
+func (c *controller) sendPlain(addr, body string)    {}
+func (c *controller) multicastKeyUpdate(body string) {}
+
+// AckBeforeJournal is the §IV bug: the ack is on the wire before the
+// admission hits the journal.
+func (c *controller) AckBeforeJournal(addr string) {
+	c.admitted[addr] = true
+	c.sendSealed(addr, "ack") // want "sendSealed transmits before journalAppend journals"
+	c.journalAppend("admit " + addr)
+}
+
+// MulticastBeforeJournal flags the fan-out helper too.
+func (c *controller) MulticastBeforeJournal() {
+	c.multicastKeyUpdate("rekey") // want "multicastKeyUpdate transmits before journalAppend journals"
+	c.journalAppend("rekey")
+}
+
+// JournalFirst is the correct ordering: no diagnostic.
+func (c *controller) JournalFirst(addr string) {
+	c.admitted[addr] = true
+	c.journalAppend("admit " + addr)
+	c.sendSealed(addr, "ack")
+}
+
+// DeniedEarly sends a denial inside a branch that returns: the denial
+// never reaches the journal call below, so it is not flagged.
+func (c *controller) DeniedEarly(addr string, ok bool) {
+	if !ok {
+		c.sendPlain(addr, "denied")
+		return
+	}
+	c.journalAppend("admit " + addr)
+	c.sendSealed(addr, "ack")
+}
+
+// SendOnly never journals: nothing to order against, no diagnostic.
+func (c *controller) SendOnly(addr string) {
+	c.sendPlain(addr, "alive")
+}
+
+// DeferredSend runs after the body, hence after the journal call: no
+// diagnostic.
+func (c *controller) DeferredSend(addr string) {
+	defer c.sendSealed(addr, "ack")
+	c.journalAppend("admit " + addr)
+}

@@ -1,0 +1,51 @@
+// Package wire exercises wireexhaustive's inventory census: this
+// miniature wire package deliberately leaves KindRekey out of the
+// bodyFactories registry and the kindNames table, and KindAlive out of
+// the golden-frames fixture.
+package wire
+
+// Kind discriminates message bodies.
+type Kind uint8
+
+// The message kinds.
+const (
+	KindJoin Kind = iota + 1
+	KindLeave
+	KindRekey
+	KindAlive // want "KindAlive has no golden frame fixture"
+)
+
+// Body is a decodable message body.
+type Body interface{ Reset() }
+
+type join struct{}
+type leave struct{}
+type alive struct{}
+
+func (*join) Reset()  {}
+func (*leave) Reset() {}
+func (*alive) Reset() {}
+
+// bodyFactories is the kind→decoder registry; KindRekey is missing.
+var bodyFactories = map[Kind]func() Body{ // want "KindRekey is missing from the bodyFactories registry"
+	KindJoin:  func() Body { return new(join) },
+	KindLeave: func() Body { return new(leave) },
+	KindAlive: func() Body { return new(alive) },
+}
+
+// kindNames maps kinds to their protocol spellings; KindRekey is missing.
+var kindNames = map[Kind]string{ // want "KindRekey is missing from the kindNames table"
+	KindJoin:  "Join",
+	KindLeave: "Leave",
+	KindAlive: "Alive",
+}
+
+// NewBody keeps the registry and names reachable.
+func NewBody(k Kind) (Body, bool) {
+	f, ok := bodyFactories[k]
+	if !ok {
+		return nil, false
+	}
+	_ = kindNames[k]
+	return f(), true
+}

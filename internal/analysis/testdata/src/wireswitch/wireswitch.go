@@ -1,0 +1,50 @@
+// Package wire exercises wireexhaustive's switch rule: a switch over the
+// wire Kind type with no default clause must list every kind.
+package wire
+
+// Kind mirrors the real wire.Kind message discriminator.
+type Kind uint8
+
+// The message kinds of this miniature protocol.
+const (
+	KindJoin Kind = iota + 1
+	KindLeave
+	KindRekey
+	KindAlive
+)
+
+// DispatchPartial drops KindRekey and KindAlive on the floor.
+func DispatchPartial(k Kind) string {
+	switch k { // want "switch over wire.Kind silently drops 2 kind"
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	}
+	return ""
+}
+
+// DispatchFull lists every kind: no diagnostic.
+func DispatchFull(k Kind) string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindRekey:
+		return "rekey"
+	case KindAlive:
+		return "alive"
+	}
+	return ""
+}
+
+// DispatchDefaulted logs unknown kinds: no diagnostic.
+func DispatchDefaulted(k Kind) string {
+	switch k {
+	case KindJoin:
+		return "join"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mykil/internal/analysis"
+)
+
+// TestSeededFixtureTrips guards the guard: if the analyzer ever stops
+// seeing the deliberately-seeded fixture violations, this fails before a
+// quiet CI run can be mistaken for a clean one.
+func TestSeededFixtureTrips(t *testing.T) {
+	pkg := loadFixture(t, "clockfix")
+	diags := analysis.Run([]*analysis.Package{pkg}, analysis.Checks())
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported no diagnostics on the seeded clockfix fixture; the CI vet step is running blind")
+	}
+	for _, d := range diags {
+		if d.Check != "clockdiscipline" {
+			t.Errorf("unexpected check %q on clockfix: %s", d.Check, d)
+		}
+	}
+}
+
+// TestVetCommandExitCodes exercises the mykil-vet binary's exit-code
+// contract end to end: 1 with file:line diagnostics on a seeded fixture,
+// 0 on a clean package, 2 on a bogus -checks value.
+func TestVetCommandExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go tool")
+	}
+	// go run collapses any nonzero child exit to 1, so build the real
+	// binary and invoke it directly.
+	vet := filepath.Join(t.TempDir(), "mykil-vet")
+	if out, err := exec.Command("go", "build", "-o", vet, "mykil/cmd/mykil-vet").CombinedOutput(); err != nil {
+		t.Fatalf("building mykil-vet: %v\n%s", err, out)
+	}
+	run := func(args ...string) (string, int) {
+		t.Helper()
+		cmd := exec.Command(vet, args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return string(out), 0
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running mykil-vet %v: %v\n%s", args, err, out)
+		}
+		return string(out), ee.ExitCode()
+	}
+
+	out, code := run("testdata/src/clockfix")
+	if code != 1 {
+		t.Fatalf("seeded fixture: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "clockfix.go:") || !strings.Contains(out, "[clockdiscipline]") {
+		t.Errorf("seeded fixture output lacks file:line diagnostics:\n%s", out)
+	}
+
+	out, code = run("../clock")
+	if code != 0 {
+		t.Fatalf("clean package: exit %d, want 0\n%s", code, out)
+	}
+
+	out, code = run("-checks", "bogus", "../clock")
+	if code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2\n%s", code, out)
+	}
+}

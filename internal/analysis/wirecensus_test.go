@@ -1,0 +1,61 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mykil/internal/analysis"
+	"mykil/internal/wire"
+)
+
+// kindInventory is the pinned census of wire kinds, in wire-value order.
+// Adding a kind to internal/wire means extending this list in the same
+// change — the analyzer, the runtime registry, and this test must agree.
+var kindInventory = []string{
+	"JoinRequest", "JoinChallenge", "JoinResponse", "JoinRefer",
+	"JoinGrant", "JoinToAC", "JoinWelcome", "JoinDenied",
+	"RejoinRequest", "RejoinChallenge", "RejoinResponse",
+	"RejoinVerifyReq", "RejoinVerifyResp", "RejoinWelcome", "RejoinDenied",
+	"Data", "KeyUpdate", "PathUpdate",
+	"ACAlive", "MemberAlive", "LeaveNotice", "PathRequest",
+	"AreaJoinReq", "AreaJoinAck", "AreaJoinDenied",
+	"ReplicaSync", "ReplicaHeartbeat", "ACFailover",
+}
+
+// TestWireKindCensus pins the analyzer's view of the wire package to the
+// runtime registry: every Kind constant wireexhaustive counts must have a
+// body factory, a protocol name, and a spot in the pinned inventory, with
+// dense values starting at 1.
+func TestWireKindCensus(t *testing.T) {
+	pkg, err := getLoader(t).Load(wireDir)
+	if err != nil {
+		t.Fatalf("loading internal/wire: %v", err)
+	}
+	census := analysis.WireKindCensus(pkg)
+
+	if len(census) != len(kindInventory) {
+		t.Fatalf("census found %d Kind constants, want %d", len(census), len(kindInventory))
+	}
+	for i, k := range census {
+		if k.Value != uint64(i+1) {
+			t.Errorf("%s has value %d, want %d (kind values must stay dense from 1)", k.Name, k.Value, i+1)
+		}
+		if k.WireName != kindInventory[i] {
+			t.Errorf("census[%d] = %s (%q), want %q", i, k.Name, k.WireName, kindInventory[i])
+		}
+		rt := wire.Kind(k.Value)
+		if got := rt.String(); got != k.WireName {
+			t.Errorf("%s: runtime String() = %q, analyzer census = %q", k.Name, got, k.WireName)
+		}
+		if _, ok := wire.NewBody(rt); !ok {
+			t.Errorf("%s: wire.NewBody has no factory for value %d", k.Name, k.Value)
+		}
+	}
+	// The registry must be exactly the census: one past the end decodes
+	// as unknown.
+	if _, ok := wire.NewBody(wire.Kind(len(census) + 1)); ok {
+		t.Errorf("wire.NewBody accepts kind %d beyond the census", len(census)+1)
+	}
+}
+
+// wireDir locates the real wire package relative to this test.
+const wireDir = "../wire"

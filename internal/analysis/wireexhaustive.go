@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"bufio"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// wireexhaustive pins the wire-kind inventory. A message kind that exists
+// as a constant but is missing from the kind→decoder registry decodes as
+// "unknown" and is silently dropped; one missing from the golden-frames
+// fixture can change encoding without failing a test; a dispatch switch
+// that neither lists every kind nor has a default clause drops new kinds
+// on the floor with no log line. All three have the same failure shape:
+// a protocol message the paper's state machines depend on disappears
+// without a trace (PROTOCOL.md kinds table).
+//
+// Inside internal/wire it checks that every Kind constant appears in the
+// bodyFactories registry, in the kindNames table, and in
+// testdata/golden_frames.txt. In every package it checks that a switch
+// over wire.Kind either covers all kinds or carries a default clause.
+
+func init() {
+	Register(&Check{
+		Name: "wireexhaustive",
+		Doc: "every wire.Kind constant must appear in the bodyFactories registry, the\n" +
+			"kindNames table, and the golden-frames fixture; switches over wire.Kind must\n" +
+			"cover every kind or carry a default clause (no silent message drop)",
+		Run: runWireExhaustive,
+	})
+}
+
+// KindConst is one wire message kind constant, as seen by the analyzer.
+// Exported so tests can assert the census matches the runtime registry.
+type KindConst struct {
+	Name     string // constant name, e.g. KindJoinRequest
+	Value    uint64
+	WireName string // protocol name from kindNames, "" if absent
+}
+
+// WireKindCensus lists the Kind constants declared in a loaded
+// internal/wire package, sorted by value, with protocol names filled in
+// from the kindNames literal.
+func WireKindCensus(pkg *Package) []KindConst {
+	census := kindConstsOf(pkg.Types)
+	names := mapLitStrings(pkg, "kindNames")
+	for i := range census {
+		census[i].WireName = names[census[i].Name]
+	}
+	return census
+}
+
+// kindConstsOf collects package-scope constants whose type is that
+// package's own Kind type, sorted by value.
+func kindConstsOf(tpkg *types.Package) []KindConst {
+	var out []KindConst
+	scope := tpkg.Scope()
+	for _, name := range scope.Names() {
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := cst.Type().(*types.Named)
+		if !ok || named.Obj().Name() != "Kind" || named.Obj().Pkg() != tpkg {
+			continue
+		}
+		v, ok := constant.Uint64Val(cst.Val())
+		if !ok {
+			continue
+		}
+		out = append(out, KindConst{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+func runWireExhaustive(p *Pass) {
+	if p.Name == "wire" && strings.HasSuffix(p.Path, "internal/wire") {
+		checkWireInventory(p)
+	}
+	checkKindSwitches(p)
+}
+
+// checkWireInventory runs the registry, name-table, and golden-fixture
+// census inside the wire package itself.
+func checkWireInventory(p *Pass) {
+	census := kindConstsOf(p.Types)
+	if len(census) == 0 {
+		return
+	}
+
+	factories, facPos := mapLitKeys(p.Package, "bodyFactories")
+	if factories == nil {
+		p.Reportf(p.Files[0].Package, "package %s has no bodyFactories map literal; the kind→decoder registry is gone", p.Path)
+	}
+	names := mapLitStrings(p.Package, "kindNames")
+	namesKeys, namePos := mapLitKeys(p.Package, "kindNames")
+	if namesKeys == nil {
+		p.Reportf(p.Files[0].Package, "package %s has no kindNames map literal", p.Path)
+	}
+
+	golden, goldenErr := goldenFrameNames(filepath.Join(p.Dir, "testdata", "golden_frames.txt"))
+
+	for _, k := range census {
+		if factories != nil && !factories[k.Name] {
+			p.Reportf(facPos, "%s is missing from the bodyFactories registry; frames of that kind decode as unknown and are dropped", k.Name)
+		}
+		if namesKeys != nil && !namesKeys[k.Name] {
+			p.Reportf(namePos, "%s is missing from the kindNames table", k.Name)
+		}
+		if goldenErr == nil {
+			wireName := names[k.Name]
+			if wireName == "" {
+				wireName = strings.TrimPrefix(k.Name, "Kind")
+			}
+			if !golden[wireName] {
+				p.Reportf(constPos(p, k.Name), "%s has no golden frame fixture (%q not in testdata/golden_frames.txt); its encoding is unpinned", k.Name, wireName)
+			}
+		}
+	}
+	if goldenErr != nil {
+		p.Reportf(p.Files[0].Package, "cannot read golden-frames fixture: %v", goldenErr)
+	}
+}
+
+// constPos finds the declaration position of a package-scope name.
+func constPos(p *Pass, name string) token.Pos {
+	if obj := p.Types.Scope().Lookup(name); obj != nil {
+		return obj.Pos()
+	}
+	return p.Files[0].Package
+}
+
+// mapLitKeys finds the package-level composite literal initializing a
+// variable called varName and returns its key identifier names plus the
+// variable's position. Returns nil when the literal does not exist.
+func mapLitKeys(p *Package, varName string) (map[string]bool, token.Pos) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, ident := range vs.Names {
+					if ident.Name != varName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					keys := map[string]bool{}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							keys[id.Name] = true
+						}
+					}
+					return keys, ident.Pos()
+				}
+			}
+		}
+	}
+	return nil, 0
+}
+
+// mapLitStrings returns key-ident → string-literal-value pairs of the
+// named package-level map literal (used for kindNames).
+func mapLitStrings(p *Package, varName string) map[string]string {
+	out := map[string]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, ident := range vs.Names {
+				if ident.Name != varName || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					id, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if tv, ok := p.Info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						out[id.Name] = constant.StringVal(tv.Value)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goldenFrameNames reads the first column of every non-comment line of
+// the golden-frames fixture.
+func goldenFrameNames(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[strings.Fields(line)[0]] = true
+	}
+	return out, sc.Err()
+}
+
+// checkKindSwitches enforces switch coverage over wire.Kind in any
+// package: no default clause means every kind must be listed.
+func checkKindSwitches(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, ok := p.TypeOf(sw.Tag).(*types.Named)
+			if !ok {
+				return true
+			}
+			obj := named.Obj()
+			if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Name() != "wire" {
+				return true
+			}
+			full := kindConstsOf(obj.Pkg())
+			if len(full) == 0 {
+				return true
+			}
+			covered := map[uint64]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+						if v, ok := constant.Uint64Val(tv.Value); ok {
+							covered[v] = true
+						}
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, k := range full {
+				if !covered[k.Value] {
+					missing = append(missing, k.Name)
+				}
+			}
+			if len(missing) > 0 {
+				show := missing
+				if len(show) > 4 {
+					show = append(append([]string(nil), show[:4]...), "...")
+				}
+				p.Reportf(sw.Pos(), "switch over wire.Kind silently drops %d kind(s) (%s); list every kind or add a default clause", len(missing), strings.Join(show, ", "))
+			}
+			return true
+		})
+	}
+}

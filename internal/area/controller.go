@@ -528,6 +528,9 @@ func (c *Controller) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind,
 		c.stats.Add(StatRejoinDenied, 1)
 	case wire.KindRejoinVerifyResp:
 		c.stats.Add(StatVerifyReqs, 1)
+	default:
+		// Only the rejoin kinds are counted; everything else passes
+		// through unstatted.
 	}
 	blob, err := wire.SealBody(to, body)
 	if err != nil {

@@ -249,6 +249,7 @@ func New(cfg Config) (*Group, error) {
 			Fsync:        fsync,
 			SegmentBytes: cfg.SegmentBytes,
 			Logf:         cfg.Logf,
+			Clock:        cfg.Clock,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: opening journal for %s: %w", name, err)
@@ -440,6 +441,7 @@ func (g *Group) RestartController(i int) error {
 		Fsync:        fsync,
 		SegmentBytes: g.cfg.SegmentBytes,
 		Logf:         g.cfg.Logf,
+		Clock:        g.cfg.Clock,
 	})
 	if err != nil {
 		return fmt.Errorf("core: reopening journal for %s: %w", ACID(i), err)

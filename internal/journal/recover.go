@@ -163,11 +163,11 @@ func truncateFile(path string, size int64) error {
 		return err
 	}
 	if err := f.Truncate(size); err != nil {
-		f.Close()
+		_ = f.Close() // the truncate error is the one worth reporting
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -291,6 +291,17 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 	nonceAC := crypt.Nonce()
 	now := s.clk.Now()
 
+	// Durability point: the admission is journaled before either frame
+	// leaves, so a crash after the referral or grant is on the wire can
+	// never produce a client whose registration the restarted server has
+	// no record of (§IV).
+	s.journalAdmit(RegisteredMember{
+		ClientID:   sess.clientID,
+		Controller: ac.ID,
+		Duration:   sess.duration,
+		Admitted:   now,
+	})
+
 	// Step 4: refer the client to the area controller, signed so the AC
 	// can authenticate the referral's origin.
 	s.sendSealed(ac.Addr, acPub, wire.KindJoinRefer, wire.JoinRefer{
@@ -310,14 +321,6 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 		Directory:    append([]wire.ACInfo(nil), s.cfg.Controllers...),
 	}, true)
 
-	// Durability point: the admission is journaled before being counted,
-	// so a restarted server still knows this client and its controller.
-	s.journalAdmit(RegisteredMember{
-		ClientID:   sess.clientID,
-		Controller: ac.ID,
-		Duration:   sess.duration,
-		Admitted:   now,
-	})
 	s.joins.Add(1)
 	s.cfg.Logf("regserver: admitted %s to area controller %s (duration %v)",
 		sess.clientID, ac.ID, sess.duration)

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"mykil/internal/clock"
 	"mykil/internal/stats"
 )
 
@@ -69,6 +70,9 @@ type Config struct {
 	// Seed seeds the drop/jitter RNG; zero selects a fixed default so
 	// runs are reproducible unless the caller opts out.
 	Seed int64
+	// Clock schedules deliveries; nil means the wall clock. Latency
+	// experiments inject a fake clock to compress simulated time.
+	Clock clock.Clock
 }
 
 // Network is the hub all endpoints attach to.
@@ -84,6 +88,7 @@ type Network struct {
 	links     map[linkKey]*link
 	closed    bool
 	wg        sync.WaitGroup
+	clk       clock.Clock
 
 	reg *stats.Registry
 }
@@ -96,8 +101,13 @@ func New(cfg Config) *Network {
 	if seed == 0 {
 		seed = 1
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	return &Network{
 		cfg:       cfg,
+		clk:       clk,
 		rng:       rand.New(rand.NewSource(seed)),
 		nodes:     make(map[string]*Endpoint),
 		crashed:   make(map[string]bool),
@@ -288,7 +298,7 @@ func (n *Network) send(from, to string, payload []byte) error {
 
 	l.enqueue(queuedMsg{
 		env:       Envelope{From: from, To: to, Payload: payload},
-		deliverAt: time.Now().Add(delay),
+		deliverAt: n.clk.Now().Add(delay),
 	})
 	return nil
 }
@@ -391,9 +401,9 @@ func (l *link) run() {
 			}
 		}
 
-		if wait := time.Until(head.deliverAt); wait > 0 {
+		if wait := head.deliverAt.Sub(l.net.clk.Now()); wait > 0 {
 			select {
-			case <-time.After(wait):
+			case <-l.net.clk.After(wait):
 			case <-l.stopped:
 				return
 			}
