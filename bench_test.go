@@ -140,13 +140,16 @@ func BenchmarkFig10LeaveAggregation(b *testing.B) {
 // benchmarks.
 func latencyGroup(b *testing.B, skipVerify bool) *core.Group {
 	b.Helper()
-	g, err := core.New(core.Config{
-		NumAreas:         2,
-		RSABits:          1024,
-		SkipRejoinVerify: skipVerify,
-		Net:              simnet.New(simnet.Config{DefaultLatency: time.Millisecond}),
-		OpTimeout:        time.Minute,
-	})
+	opts := []core.Option{
+		core.WithAreas(2),
+		core.WithRSABits(1024),
+		core.WithNet(simnet.New(simnet.Config{DefaultLatency: time.Millisecond})),
+		core.WithOpTimeout(time.Minute),
+	}
+	if skipVerify {
+		opts = append(opts, core.WithSkipRejoinVerify())
+	}
+	g, err := core.New(opts...)
 	if err != nil {
 		b.Fatal(err)
 	}

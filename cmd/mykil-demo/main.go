@@ -35,23 +35,23 @@ func run() error {
 	)
 	flag.Parse()
 
-	cfg := core.Config{
-		NumAreas:       *areas,
-		RSABits:        *rsaBits,
-		WithBackups:    true,
-		Policy:         area.AdmitOnPartition,
-		TIdle:          40 * time.Millisecond,
-		TActive:        80 * time.Millisecond,
-		HeartbeatEvery: 40 * time.Millisecond,
-		OpTimeout:      time.Minute,
+	opts := []core.Option{
+		core.WithAreas(*areas),
+		core.WithRSABits(*rsaBits),
+		core.WithBackups(),
+		core.WithPolicy(area.AdmitOnPartition),
+		core.WithTIdle(40 * time.Millisecond),
+		core.WithTActive(80 * time.Millisecond),
+		core.WithHeartbeatEvery(40 * time.Millisecond),
+		core.WithOpTimeout(time.Minute),
 	}
 	if *verbose {
-		cfg.Logf = func(f string, a ...any) { fmt.Printf("    [log] "+f+"\n", a...) }
+		opts = append(opts, core.WithLogf(func(f string, a ...any) { fmt.Printf("    [log] "+f+"\n", a...) }))
 	}
 
 	fmt.Printf("== scene 1: deployment (%d areas, %d members, RSA-%d) ==\n",
 		*areas, *nMember, *rsaBits)
-	g, err := core.New(cfg)
+	g, err := core.New(opts...)
 	if err != nil {
 		return err
 	}

@@ -5,17 +5,28 @@
 // reports per-member delivery and the measured join latencies.
 //
 // Usage: mykilnet [-areas N] [-members N] [-messages N] [-rsabits N]
+// [-churn N] [-metrics-addr HOST:PORT] [-trace FILE] [-linger D]
+//
+// With -metrics-addr the process serves a Prometheus text exposition on
+// /metrics (every component's counters plus the member join/rejoin
+// latency histograms) and the standard net/http/pprof profiles under
+// /debug/pprof/. With -trace every protocol event (join steps 1-7,
+// rejoin steps 1-6, rekeys, alive rounds, recovery) is appended to FILE
+// as one JSON object per line.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync/atomic"
 	"time"
 
 	"mykil/internal/core"
 	"mykil/internal/member"
+	"mykil/internal/obs"
 	"mykil/internal/transport"
 )
 
@@ -28,33 +39,75 @@ func main() {
 
 func run() error {
 	var (
-		areas    = flag.Int("areas", 2, "number of areas")
-		nMember  = flag.Int("members", 4, "number of members")
-		messages = flag.Int("messages", 5, "multicast messages to send")
-		rsaBits  = flag.Int("rsabits", 2048, "RSA key size (paper: 2048)")
-		jdir     = flag.String("journal-dir", "", "enable durable journaling under this directory; rerunning with the same directory restarts the group from its journals")
-		fsync    = flag.String("fsync", "always", "journal sync policy: always, interval, or never")
-		segBytes = flag.Int64("segment-bytes", 0, "journal segment rotation threshold (0 = default)")
+		areas       = flag.Int("areas", 2, "number of areas")
+		nMember     = flag.Int("members", 4, "number of members")
+		messages    = flag.Int("messages", 5, "multicast messages to send")
+		rsaBits     = flag.Int("rsabits", 2048, "RSA key size (paper: 2048)")
+		churn       = flag.Int("churn", 0, "leave/rejoin cycles each member performs after the multicast phase")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9190)")
+		tracePath   = flag.String("trace", "", "append protocol trace events to this file as JSON lines")
+		linger      = flag.Duration("linger", 0, "keep the group (and metrics endpoint) up this long after the run")
+		jdir        = flag.String("journal-dir", "", "enable durable journaling under this directory; rerunning with the same directory restarts the group from its journals")
+		fsync       = flag.String("fsync", "always", "journal sync policy: always, interval, or never")
+		segBytes    = flag.Int64("segment-bytes", 0, "journal segment rotation threshold (0 = default)")
 	)
 	flag.Parse()
 
+	opts := []core.Option{
+		core.WithAreas(*areas),
+		core.WithRSABits(*rsaBits),
+		core.WithTransportFactory(func(string) (transport.Transport, error) {
+			return transport.NewTCP("127.0.0.1:0")
+		}),
+		core.WithOpTimeout(time.Minute),
+		core.WithJournal(*jdir, *fsync),
+		core.WithSegmentBytes(*segBytes),
+	}
+	if *tracePath != "" {
+		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open trace file: %w", err)
+		}
+		defer f.Close()
+		sink := obs.NewJSONL(f)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "mykilnet: trace:", err)
+			}
+		}()
+		opts = append(opts, core.WithObserver(sink))
+		fmt.Printf("tracing protocol events to %s (JSON lines)\n", *tracePath)
+	}
+
 	fmt.Printf("starting Mykil over TCP: %d areas, %d members, RSA-%d\n",
 		*areas, *nMember, *rsaBits)
-	g, err := core.New(core.Config{
-		NumAreas: *areas,
-		RSABits:  *rsaBits,
-		NewTransport: func(string) (transport.Transport, error) {
-			return transport.NewTCP("127.0.0.1:0")
-		},
-		OpTimeout:    time.Minute,
-		JournalDir:   *jdir,
-		FsyncPolicy:  *fsync,
-		SegmentBytes: *segBytes,
-	})
+	g, err := core.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer g.Close()
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = g.WriteMetrics(w)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "mykilnet: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("metrics on http://%s/metrics, profiles on /debug/pprof/\n", *metricsAddr)
+	}
+
 	if *jdir != "" {
 		if recovered := g.RecoverySummary(); len(recovered) == 0 {
 			fmt.Printf("journaling to %s (fsync=%s); no prior state on disk\n", *jdir, *fsync)
@@ -108,5 +161,54 @@ func run() error {
 	}
 	fmt.Printf("delivered %d encrypted multicasts across %d TCP-connected areas\n",
 		delivered.Load(), *areas)
+
+	// Churn: every member leaves and ticket-rejoins (to another area
+	// when one exists), exercising the 6-step rejoin and filling the
+	// rejoin latency histogram.
+	for c := 0; c < *churn; c++ {
+		for i, m := range members {
+			target := m.ControllerID()
+			for _, e := range g.Directory() {
+				if e.ID != target {
+					target = e.ID
+					break
+				}
+			}
+			if err := m.Leave(); err != nil {
+				return fmt.Errorf("churn leave #%d: %w", i, err)
+			}
+			if err := m.Rejoin(target); err != nil {
+				return fmt.Errorf("churn rejoin #%d: %w", i, err)
+			}
+		}
+		fmt.Printf("churn cycle %d/%d: %d members rejoined\n", c+1, *churn, len(members))
+	}
+
+	if *linger > 0 {
+		fmt.Printf("lingering %v (metrics stay live)\n", *linger)
+		time.Sleep(*linger)
+	}
+
+	// Shutdown summary: the member-side protocol latency histograms and
+	// every component's drop counters.
+	registered := make(map[string]bool)
+	for _, n := range g.Metrics().Names() {
+		registered[n] = true
+	}
+	for _, name := range []string{obs.MetricJoinSeconds, obs.MetricRejoinSeconds} {
+		if !registered[name] { // no member ever constructed (-members 0)
+			continue
+		}
+		h := g.Metrics().GetHistogram(name)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%s: n=%d mean=%.4fs p50=%.4fs p95=%.4fs p99=%.4fs\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	fmt.Println("drop summary:")
+	for _, line := range g.DropSummary() {
+		fmt.Printf("  %s\n", line)
+	}
 	return nil
 }

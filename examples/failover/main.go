@@ -34,15 +34,15 @@ func run() error {
 // actOne: primary-backup takeover of an area controller.
 func actOne() error {
 	fmt.Println("== act one: primary-backup controller failover ==")
-	g, err := core.New(core.Config{
-		NumAreas:       1,
-		RSABits:        1024,
-		WithBackups:    true,
-		TIdle:          40 * time.Millisecond,
-		TActive:        80 * time.Millisecond,
-		HeartbeatEvery: 40 * time.Millisecond,
-		OpTimeout:      30 * time.Second,
-	})
+	g, err := core.New(
+		core.WithAreas(1),
+		core.WithRSABits(1024),
+		core.WithBackups(),
+		core.WithTIdle(40*time.Millisecond),
+		core.WithTActive(80*time.Millisecond),
+		core.WithHeartbeatEvery(40*time.Millisecond),
+		core.WithOpTimeout(30*time.Second),
+	)
 	if err != nil {
 		return err
 	}
@@ -110,13 +110,13 @@ func actOne() error {
 // actTwo: orphaned controllers re-parent after the root dies.
 func actTwo() error {
 	fmt.Println("== act two: area-tree repair after the root controller dies ==")
-	g, err := core.New(core.Config{
-		NumAreas:  3, // ac-0 root; ac-1 and ac-2 its children
-		RSABits:   1024,
-		TIdle:     40 * time.Millisecond,
-		TActive:   80 * time.Millisecond,
-		OpTimeout: 30 * time.Second,
-	})
+	g, err := core.New(
+		core.WithAreas(3), // ac-0 root; ac-1 and ac-2 its children
+		core.WithRSABits(1024),
+		core.WithTIdle(40*time.Millisecond),
+		core.WithTActive(80*time.Millisecond),
+		core.WithOpTimeout(30*time.Second),
+	)
 	if err != nil {
 		return err
 	}

@@ -32,7 +32,7 @@ func main() {
 
 func run() error {
 	fmt.Println("== hand-held device feasibility (paper §V-E) ==")
-	g, err := core.New(core.Config{NumAreas: 1, RSABits: 1024})
+	g, err := core.New(core.WithAreas(1), core.WithRSABits(1024))
 	if err != nil {
 		return err
 	}

@@ -26,15 +26,15 @@ func main() {
 
 func run() error {
 	fmt.Println("== Mykil mobility demo ==")
-	g, err := core.New(core.Config{
-		NumAreas:      2,
-		RSABits:       1024,
-		Policy:        area.AdmitOnPartition,
-		TIdle:         40 * time.Millisecond,
-		TActive:       80 * time.Millisecond,
-		VerifyTimeout: 300 * time.Millisecond,
-		OpTimeout:     30 * time.Second,
-	})
+	g, err := core.New(
+		core.WithAreas(2),
+		core.WithRSABits(1024),
+		core.WithPolicy(area.AdmitOnPartition),
+		core.WithTIdle(40*time.Millisecond),
+		core.WithTActive(80*time.Millisecond),
+		core.WithVerifyTimeout(300*time.Millisecond),
+		core.WithOpTimeout(30*time.Second),
+	)
 	if err != nil {
 		return err
 	}

@@ -63,14 +63,17 @@ func run() error {
 // many rekey-multicast frames crossed the network.
 func runBroadcastDay(batching bool) (int64, error) {
 	net := simnet.New(simnet.Config{})
-	g, err := core.New(core.Config{
-		NumAreas:      1,
-		RSABits:       512,
-		Batching:      batching,
-		Net:           net,
-		RekeyInterval: 50 * time.Millisecond,
-		OpTimeout:     30 * time.Second,
-	})
+	opts := []core.Option{
+		core.WithAreas(1),
+		core.WithRSABits(512),
+		core.WithNet(net),
+		core.WithRekeyInterval(50 * time.Millisecond),
+		core.WithOpTimeout(30 * time.Second),
+	}
+	if batching {
+		opts = append(opts, core.WithBatching())
+	}
+	g, err := core.New(opts...)
 	if err != nil {
 		net.Close()
 		return 0, err

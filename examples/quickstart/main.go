@@ -23,10 +23,7 @@ func main() {
 
 func run() error {
 	fmt.Println("== Mykil quickstart ==")
-	g, err := core.New(core.Config{
-		NumAreas: 1,
-		RSABits:  1024,
-	})
+	g, err := core.New(core.WithAreas(1), core.WithRSABits(1024))
 	if err != nil {
 		return err
 	}

@@ -112,6 +112,7 @@ func TestFixtures(t *testing.T) {
 	fixtures := []string{
 		"clockfix",
 		"keyleakfix",
+		"obsfix",
 		"cryptfix",
 		"wireswitch",
 		"regress/internal/wire",
@@ -171,8 +172,8 @@ func TestLookup(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Lookup(\"\"): %v", err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("Lookup(\"\") returned %d checks, want 5", len(all))
+	if len(all) != 6 {
+		t.Fatalf("Lookup(\"\") returned %d checks, want 6", len(all))
 	}
 	two, err := analysis.Lookup("keyleak, clockdiscipline")
 	if err != nil {

@@ -1,0 +1,47 @@
+// Package obs exercises the obsdiscipline check. The fixture declares a
+// miniature copy of the real obs API under the package name the check
+// keys on, so span-construction calls here look exactly like calls into
+// the real tracer. Note clockdiscipline also fires on the wall-clock
+// lines (this package is neither main nor internal/clock), so those
+// lines carry two want strings.
+package obs
+
+import "time"
+
+// Attr mirrors the real trace attribute.
+type Attr struct{ Key, Value string }
+
+// String mirrors the string attr constructor.
+func String(key, value string) Attr { return Attr{key, value} }
+
+// Dur mirrors the duration attr constructor.
+func Dur(key string, d time.Duration) Attr { return Attr{key, d.String()} }
+
+// Tracer mirrors the real tracer.
+type Tracer struct{}
+
+// Step mirrors the real span emitter.
+func (t *Tracer) Step(proto, subject string, step int, name string, attrs ...Attr) {}
+
+// BadClock hand-rolls span timing from the wall clock.
+func BadClock(tr *Tracer, start time.Time) {
+	tr.Step("join", "m1", 1, "JoinRequest",
+		Dur("elapsed", time.Since(start)), // want "time.Since in an argument to Dur" "direct time.Since"
+		String("at", time.Now().String())) // want "time.Now in an argument to String" "direct time.Now"
+}
+
+// BadKey passes key material where a key ID belongs.
+func BadKey(tr *Tracer, groupKey []byte, s struct{ Seed [16]byte }) {
+	tr.Step("rekey", "area-0", 0, "batch-rekey",
+		String("key", string(groupKey)), // want "groupKey carries key material into trace attribute via String"
+		Dur("window", 5*time.Second))
+	_ = String("seed", string(s.Seed[:])) // want "Seed carries key material into trace attribute via String"
+}
+
+// Good records identifiers, epochs, and clock-free durations only.
+func Good(tr *Tracer, keyID string, epoch uint64, silence time.Duration) {
+	tr.Step("rejoin", "m2", 6, "RejoinWelcome",
+		String("key_id", keyID),
+		Dur("silence", silence))
+	_ = epoch
+}

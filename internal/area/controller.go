@@ -18,7 +18,7 @@ import (
 	"mykil/internal/journal"
 	"mykil/internal/keytree"
 	"mykil/internal/node"
-	"mykil/internal/stats"
+	"mykil/internal/obs"
 	"mykil/internal/ticket"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
@@ -124,6 +124,9 @@ type Config struct {
 	// SnapshotEvery spaces journal snapshots in records; zero means
 	// DefaultSnapshotEvery. Only meaningful with Journal set.
 	SnapshotEvery int
+	// Observer, if set, receives structured protocol trace events
+	// (handshake steps, rekeys, reseals, alive rounds, re-parenting).
+	Observer obs.Sink
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -262,7 +265,21 @@ type Controller struct {
 	detKG         replayKeyGen
 	recsSinceSnap int
 
-	stats stats.Registry
+	metrics *obs.Registry
+	trace   *obs.Tracer
+
+	// Typed handles into metrics, registered at construction.
+	cJoins         *obs.Counter
+	cRejoins       *obs.Counter
+	cLeaves        *obs.Counter
+	cEvictions     *obs.Counter
+	cRekeys        *obs.Counter
+	cRekeyEntries  *obs.Counter
+	cDataRelayed   *obs.Counter
+	cDataForwarded *obs.Counter
+	cRejoinDenied  *obs.Counter
+	cVerifyReqs    *obs.Counter
+	hRekeySeconds  *obs.Histogram
 
 	// Control plane: the event loop that owns all state above.
 	loop *node.Loop
@@ -307,7 +324,20 @@ func New(cfg Config) (*Controller, error) {
 		rejoinSessions: make(map[string]*rejoinSession),
 		parkedStep6:    make(map[string]*parkedJoin),
 		seenSeq:        make(map[string]uint64),
+		metrics:        obs.NewRegistry(obs.L("node", cfg.ID)),
 	}
+	c.trace = obs.NewTracer(cfg.ID, cfg.Clock, cfg.Observer)
+	c.cJoins = c.metrics.Counter(StatJoins, "Members admitted via the 7-step join protocol.")
+	c.cRejoins = c.metrics.Counter(StatRejoins, "Members admitted via ticket rejoin.")
+	c.cLeaves = c.metrics.Counter(StatLeaves, "Voluntary departures processed.")
+	c.cEvictions = c.metrics.Counter(StatEvictions, "Silent members terminated (T_idle policy).")
+	c.cRekeys = c.metrics.Counter(StatRekeys, "Rekey operations performed.")
+	c.cRekeyEntries = c.metrics.Counter(StatRekeyEntries, "Encrypted key entries across all rekeys.")
+	c.cDataRelayed = c.metrics.Counter(StatDataRelayed, "Data frames relayed within the area.")
+	c.cDataForwarded = c.metrics.Counter(StatDataForwarded, "Data frames forwarded to the parent area.")
+	c.cRejoinDenied = c.metrics.Counter(StatRejoinDenied, "Rejoins refused.")
+	c.cVerifyReqs = c.metrics.Counter(StatVerifyReqs, "Anti-cohort verification checks answered.")
+	c.hRekeySeconds = c.metrics.Histogram(obs.MetricRekeySeconds, obs.HelpRekeySeconds, nil)
 	c.pool = node.NewPool(cfg.DataWorkers)
 	c.dp = node.NewPipeline(c.pool, 0, c.deliver)
 	c.tree = keytree.New(c.treeConfig())
@@ -318,7 +348,7 @@ func New(cfg Config) (*Controller, error) {
 		TickEvery:     c.minTick(),
 		OnFrame:       c.handleFrame,
 		OnTick:        c.housekeeping,
-		Stats:         &c.stats,
+		Stats:         c.metrics,
 		CommandBuffer: 64,
 		Logf:          cfg.Logf,
 	})
@@ -424,7 +454,7 @@ func (c *Controller) PendingEvents() int {
 // Stats exposes the controller's operation counters (concurrency-safe).
 // Besides the ac.* protocol counters it carries the node.* loop counters,
 // including node.drops: commands lost because the controller had stopped.
-func (c *Controller) Stats() *stats.Registry { return &c.stats }
+func (c *Controller) Stats() *obs.Registry { return c.metrics }
 
 // minTick picks the housekeeping granularity: fine enough to honor the
 // shortest configured period.
@@ -525,9 +555,9 @@ func (c *Controller) send(addr string, f *wire.Frame) {
 func (c *Controller) sendSealed(addr string, to crypt.PublicKey, kind wire.Kind, body wire.Marshaler, sign bool) {
 	switch kind {
 	case wire.KindRejoinDenied:
-		c.stats.Add(StatRejoinDenied, 1)
+		c.cRejoinDenied.Inc()
 	case wire.KindRejoinVerifyResp:
-		c.stats.Add(StatVerifyReqs, 1)
+		c.cVerifyReqs.Inc()
 	default:
 		// Only the rejoin kinds are counted; everything else passes
 		// through unstatted.

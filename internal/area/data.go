@@ -5,6 +5,7 @@ import (
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/obs"
 	"mykil/internal/wire"
 )
 
@@ -41,6 +42,7 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 
 	seed := c.armRekeySeed()
 	oldAreaKey := c.tree.AreaKey()
+	rekeyStart := c.clk.Now()
 	res, err := c.tree.Batch(joinIDs, leaveIDs)
 	c.detKG.disarm()
 	if err != nil {
@@ -49,16 +51,25 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 	}
 	c.rememberAreaKey(oldAreaKey)
 	c.lastRekey = c.clk.Now()
-	c.stats.Add(StatRekeys, 1)
-	c.stats.Add(StatRekeyEntries, int64(res.Update.NumKeys()))
+	c.hRekeySeconds.Observe(c.lastRekey.Sub(rekeyStart).Seconds())
+	c.cRekeys.Inc()
+	c.cRekeyEntries.Add(int64(res.Update.NumKeys()))
+	var nJoins, nRejoins int64
 	for _, p := range joins {
 		if p.rejoin {
-			c.stats.Add(StatRejoins, 1)
+			nRejoins++
 		} else {
-			c.stats.Add(StatJoins, 1)
+			nJoins++
 		}
 	}
-	c.stats.Add(StatLeaves, int64(len(leaves)))
+	c.cRejoins.Add(nRejoins)
+	c.cJoins.Add(nJoins)
+	c.cLeaves.Add(int64(len(leaves)))
+	c.trace.Event(obs.ProtoRekey, c.cfg.AreaID, "batch-rekey",
+		obs.Int("joins", nJoins), obs.Int("rejoins", nRejoins),
+		obs.Int("leaves", int64(len(leaves))),
+		obs.Int("entries", int64(res.Update.NumKeys())),
+		obs.Uint("epoch", uint64(res.Epoch)))
 
 	for _, id := range leaves {
 		delete(c.members, id)
@@ -79,6 +90,8 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 	for _, p := range joins {
 		path := res.Joined[keytree.MemberID(p.entry.id)]
 		if p.rejoin {
+			c.trace.Step(obs.ProtoRejoin, p.entry.id, 6, "RejoinWelcome",
+				obs.Uint("epoch", uint64(res.Epoch)))
 			jobs = append(jobs, sealJob{
 				addr: p.entry.addr, to: p.entry.pub, kind: wire.KindRejoinWelcome,
 				body: wire.RejoinWelcome{
@@ -92,6 +105,8 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 				sign: true,
 			})
 		} else {
+			c.trace.Step(obs.ProtoJoin, p.entry.id, 7, "JoinWelcome",
+				obs.Uint("epoch", uint64(res.Epoch)))
 			jobs = append(jobs, sealJob{
 				addr: p.entry.addr, to: p.entry.pub, kind: wire.KindJoinWelcome,
 				body: wire.JoinWelcome{
@@ -173,13 +188,18 @@ func (c *Controller) freshnessRekey() {
 	c.dataBarrier()
 	seed := c.armRekeySeed()
 	oldAreaKey := c.tree.AreaKey()
+	rekeyStart := c.clk.Now()
 	res := c.tree.RefreshAreaKey()
 	c.detKG.disarm()
 	c.journalFreshness(seed)
 	c.rememberAreaKey(oldAreaKey)
 	c.lastRekey = c.clk.Now()
-	c.stats.Add(StatRekeys, 1)
-	c.stats.Add(StatRekeyEntries, int64(res.Update.NumKeys()))
+	c.hRekeySeconds.Observe(c.lastRekey.Sub(rekeyStart).Seconds())
+	c.cRekeys.Inc()
+	c.cRekeyEntries.Add(int64(res.Update.NumKeys()))
+	c.trace.Event(obs.ProtoRekey, c.cfg.AreaID, "freshness-rekey",
+		obs.Int("entries", int64(res.Update.NumKeys())),
+		obs.Uint("epoch", uint64(res.Epoch)))
 	c.multicastKeyUpdate(res, nil)
 	c.markBackupDirty()
 }
@@ -251,6 +271,7 @@ func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
 		}
 		if stale {
 			d.EncKey = crypt.Seal(areaKey, dataKey[:])
+			c.trace.Event(obs.ProtoReseal, origin, "reseal-stale-key")
 		}
 		var out []outbound
 		if body, err := wire.PlainBody(d); err == nil {
@@ -258,7 +279,7 @@ func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
 			for _, addr := range dests {
 				out = append(out, outbound{addr, relay})
 			}
-			c.stats.Add(StatDataRelayed, 1)
+			c.cDataRelayed.Inc()
 		}
 		if parentAddr != "" {
 			up := d
@@ -266,7 +287,8 @@ func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
 			up.EncKey = crypt.Seal(parentKey, dataKey[:])
 			if body, err := wire.PlainBody(up); err == nil {
 				out = append(out, outbound{parentAddr, &wire.Frame{Kind: wire.KindData, From: self, Body: body}})
-				c.stats.Add(StatDataForwarded, 1)
+				c.cDataForwarded.Inc()
+				c.trace.Event(obs.ProtoReseal, origin, "reseal-up", obs.String("to_area", parentArea))
 			}
 		}
 		return out
@@ -308,7 +330,8 @@ func (c *Controller) relayParentData(d wire.Data, from string) {
 		for _, addr := range dests {
 			out = append(out, outbound{addr, relay})
 		}
-		c.stats.Add(StatDataRelayed, 1)
+		c.cDataRelayed.Inc()
+		c.trace.Event(obs.ProtoReseal, d.Origin, "reseal-down", obs.String("to_area", areaID))
 		return out
 	})
 }
@@ -377,6 +400,8 @@ func (c *Controller) multicastAlive() {
 	for _, entry := range c.members {
 		c.send(entry.addr, f)
 	}
+	c.trace.Event(obs.ProtoAlive, c.cfg.AreaID, "ACAlive",
+		obs.Int("members", int64(len(c.members))), obs.Uint("epoch", uint64(c.tree.Epoch())))
 	c.lastAreaSend = c.clk.Now()
 }
 
@@ -395,7 +420,8 @@ func (c *Controller) evictSilentMembers(now time.Time) {
 	}
 	for _, id := range gone {
 		c.cfg.Logf("%s: terminating silent member %s", c.cfg.ID, id)
-		c.stats.Add(StatEvictions, 1)
+		c.cEvictions.Inc()
+		c.trace.Event(obs.ProtoAlive, id, "evict-silent")
 		c.removeMember(id)
 	}
 }

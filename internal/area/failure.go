@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mykil/internal/keytree"
+	"mykil/internal/obs"
 	"mykil/internal/wire"
 )
 
@@ -12,6 +13,7 @@ import (
 func (c *Controller) requestParent(candidate PeerInfo) {
 	c.reparentTarget = candidate.ID
 	c.reparentDeadline = c.clk.Now().Add(c.cfg.VerifyTimeout)
+	c.trace.Event(obs.ProtoReparent, candidate.ID, "AreaJoinReq")
 	c.sendSealed(candidate.Addr, candidate.Pub, wire.KindAreaJoinReq, wire.AreaJoinReq{
 		ACID:      c.cfg.ID,
 		ACAddr:    c.cfg.Transport.Addr(),
@@ -100,6 +102,8 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 	// tree.Join is Batch of one: journaled as a recBatch so replay takes
 	// the identical code path.
 	c.journalBatch(seed, []pendingAdmission{{entry: c.members[req.ACID]}}, nil)
+	c.trace.Event(obs.ProtoReparent, req.ACID, "adopt-child",
+		obs.String("child_area", req.AreaID), obs.Uint("epoch", uint64(res.Epoch)))
 	c.sendSealed(req.ACAddr, pub, wire.KindAreaJoinAck, wire.AreaJoinAck{
 		ParentID:     c.cfg.ID,
 		ParentAreaID: c.cfg.AreaID,
@@ -159,6 +163,8 @@ func (c *Controller) handleAreaJoinAck(f *wire.Frame) {
 		lastSent: now,
 	}
 	c.cfg.Logf("%s: parent is now %s (area %s)", c.cfg.ID, ack.ParentID, ack.ParentAreaID)
+	c.trace.Event(obs.ProtoReparent, ack.ParentID, "parent-set",
+		obs.String("parent_area", ack.ParentAreaID), obs.Uint("epoch", uint64(ack.Epoch)))
 	c.journalParentSet()
 	c.markBackupDirty()
 }
@@ -255,6 +261,7 @@ func (c *Controller) parentHousekeeping(now time.Time) {
 	silence := now.Sub(c.parent.lastRecv)
 	if silence > time.Duration(DefaultSilenceFactor)*c.cfg.TIdle {
 		c.cfg.Logf("%s: parent %s silent for %v; re-parenting", c.cfg.ID, c.parent.info.ID, silence)
+		c.trace.Event(obs.ProtoReparent, c.parent.info.ID, "parent-silent", obs.Dur("silence", silence))
 		c.parent = nil
 		c.journalParentClear()
 		c.tryNextParent()

@@ -5,6 +5,7 @@ import (
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/obs"
 	"mykil/internal/ticket"
 	"mykil/internal/wire"
 )
@@ -229,6 +230,8 @@ func (c *Controller) handleRejoinRequest(f *wire.Frame) {
 	c.rejoinSessions[req.ClientID] = sess
 	// Step 2: challenge the client to prove possession of the ticket's
 	// private key.
+	c.trace.Step(obs.ProtoRejoin, req.ClientID, 2, "RejoinChallenge",
+		obs.String("prev_ac", sess.tk.AreaController))
 	c.sendSealed(req.ClientAddr, clientPub, wire.KindRejoinChallenge, wire.RejoinChallenge{
 		NonceCBPlus1: req.NonceCB + 1,
 		NonceBC:      sess.nonceBC,
@@ -268,6 +271,8 @@ func (c *Controller) handleRejoinResponse(f *wire.Frame) {
 		if err != nil {
 			return
 		}
+		c.trace.Step(obs.ProtoRejoin, sess.clientID, 6, "RejoinWelcome",
+			obs.String("refresh", "in-place"), obs.Uint("epoch", uint64(c.tree.Epoch())))
 		c.sendSealed(entry.addr, entry.pub, wire.KindRejoinWelcome, wire.RejoinWelcome{
 			TicketBlob: entry.ticketBlob,
 			Path:       pks,
@@ -296,6 +301,8 @@ func (c *Controller) handleRejoinResponse(f *wire.Frame) {
 	}
 	sess.awaitingVerify = true
 	sess.verifyDeadline = c.clk.Now().Add(c.cfg.VerifyTimeout)
+	c.trace.Step(obs.ProtoRejoin, sess.clientID, 4, "RejoinVerifyReq",
+		obs.String("prev_ac", prev.ID))
 	c.sendSealed(prev.Addr, prevPub, wire.KindRejoinVerifyReq, wire.RejoinVerifyReq{
 		ClientID:  sess.clientID,
 		Timestamp: c.clk.Now(),
@@ -345,6 +352,8 @@ func (c *Controller) handleRejoinVerifyReq(f *wire.Frame) {
 			c.removeMember(req.ClientID)
 		}
 	}
+	c.trace.Step(obs.ProtoRejoin, req.ClientID, 5, "RejoinVerifyResp",
+		obs.Bool("still_member", stillMember))
 	c.sendSealed(f.From, senderPub, wire.KindRejoinVerifyResp, wire.RejoinVerifyResp{
 		ClientID:    req.ClientID,
 		StillMember: stillMember,

@@ -141,17 +141,16 @@ func RecoveryVsRejoin(members, rsaBits int) (*RecoveryVsRejoinResult, error) {
 	defer func() { _ = os.RemoveAll(dir) }()
 
 	net := simnet.New(simnet.Config{})
-	g, err := core.New(core.Config{
-		NumAreas:      2,
-		RSABits:       rsaBits,
-		Net:           net,
-		TIdle:         time.Hour, // quiet: no alive traffic in the counters
-		TActive:       time.Hour,
-		RekeyInterval: time.Hour,
-		OpTimeout:     2 * time.Minute,
-		JournalDir:    dir,
-		FsyncPolicy:   "always",
-	})
+	g, err := core.New(
+		core.WithAreas(2),
+		core.WithRSABits(rsaBits),
+		core.WithNet(net),
+		core.WithTIdle(time.Hour), // quiet: no alive traffic in the counters
+		core.WithTActive(time.Hour),
+		core.WithRekeyInterval(time.Hour),
+		core.WithOpTimeout(2*time.Minute),
+		core.WithJournal(dir, "always"),
+	)
 	if err != nil {
 		net.Close()
 		return nil, err

@@ -1,14 +1,12 @@
 package bench
 
-//lint:file-ignore clockdiscipline benchmarks measure wall-clock elapsed time by design
-
 import (
 	"fmt"
 	"time"
 
 	"mykil/internal/core"
+	"mykil/internal/obs"
 	"mykil/internal/simnet"
-	"mykil/internal/stats"
 )
 
 // LatencyConfig parameterizes the §V-D join/rejoin latency experiment.
@@ -22,12 +20,16 @@ type LatencyConfig struct {
 	Iterations int
 }
 
-// LatencyResult holds measured protocol times.
+// LatencyResult holds the protocol latency histograms. These are the
+// same member-side histograms mykilnet exports on /metrics: each member
+// observes its own join/rejoin elapsed time (injected clock, measured
+// from step 1 to the final welcome) into the group registry, so the
+// bench reports exactly what production metrics would show.
 type LatencyResult struct {
 	Cfg            LatencyConfig
-	Join           stats.Histogram
-	Rejoin         stats.Histogram
-	RejoinNoVerify stats.Histogram
+	Join           *obs.Histogram
+	Rejoin         *obs.Histogram
+	RejoinNoVerify *obs.Histogram
 	// DroppedOverflow counts sim.dropped.overflow across both runs: any
 	// queue overflow stalls a protocol step into its retry path and
 	// poisons the timing.
@@ -47,18 +49,21 @@ func JoinRejoinLatency(cfg LatencyConfig) (*LatencyResult, error) {
 	}
 	r := &LatencyResult{Cfg: cfg}
 
-	run := func(skipVerify bool, join, rejoin *stats.Histogram) error {
+	run := func(skipVerify bool) (*core.Group, error) {
 		net := simnet.New(simnet.Config{DefaultLatency: cfg.LinkLatency})
-		g, err := core.New(core.Config{
-			NumAreas:         2,
-			RSABits:          cfg.RSABits,
-			SkipRejoinVerify: skipVerify,
-			Net:              net,
-			OpTimeout:        2 * time.Minute,
-		})
+		opts := []core.Option{
+			core.WithAreas(2),
+			core.WithRSABits(cfg.RSABits),
+			core.WithNet(net),
+			core.WithOpTimeout(2 * time.Minute),
+		}
+		if skipVerify {
+			opts = append(opts, core.WithSkipRejoinVerify())
+		}
+		g, err := core.New(opts...)
 		if err != nil {
 			net.Close()
-			return err
+			return nil, err
 		}
 		defer func() {
 			g.Close()
@@ -66,20 +71,16 @@ func JoinRejoinLatency(cfg LatencyConfig) (*LatencyResult, error) {
 			net.Close()
 		}()
 		if err := g.WarmMemberKeys(cfg.Iterations); err != nil {
-			return err
+			return nil, err
 		}
 		for i := 0; i < cfg.Iterations; i++ {
 			id := fmt.Sprintf("lat%d", i)
 			m, err := g.NewMember(id, core.MemberConfig{})
 			if err != nil {
-				return err
+				return nil, err
 			}
-			start := time.Now()
 			if err := m.Join(); err != nil {
-				return fmt.Errorf("join %s: %w", id, err)
-			}
-			if join != nil {
-				join.Observe(time.Since(start).Seconds())
+				return nil, fmt.Errorf("join %s: %w", id, err)
 			}
 
 			// Move to the other area via the ticket.
@@ -92,48 +93,54 @@ func JoinRejoinLatency(cfg LatencyConfig) (*LatencyResult, error) {
 				}
 			}
 			if err := m.Leave(); err != nil {
-				return fmt.Errorf("leave %s: %w", id, err)
+				return nil, fmt.Errorf("leave %s: %w", id, err)
 			}
-			start = time.Now()
 			if err := m.Rejoin(target); err != nil {
-				return fmt.Errorf("rejoin %s: %w", id, err)
+				return nil, fmt.Errorf("rejoin %s: %w", id, err)
 			}
-			rejoin.Observe(time.Since(start).Seconds())
 		}
-		return nil
+		return g, nil
 	}
 
-	if err := run(false, &r.Join, &r.Rejoin); err != nil {
+	g, err := run(false)
+	if err != nil {
 		return nil, err
 	}
-	if err := run(true, nil, &r.RejoinNoVerify); err != nil {
+	r.Join = g.Metrics().GetHistogram(obs.MetricJoinSeconds)
+	r.Rejoin = g.Metrics().GetHistogram(obs.MetricRejoinSeconds)
+
+	g, err = run(true)
+	if err != nil {
 		return nil, err
 	}
+	r.RejoinNoVerify = g.Metrics().GetHistogram(obs.MetricRejoinSeconds)
 	return r, nil
 }
 
 // Table renders the latency comparison.
 func (r *LatencyResult) Table() *Table {
-	row := func(name string, h *stats.Histogram, paper string) []string {
+	row := func(name string, h *obs.Histogram, paper string) []string {
 		return []string{
 			name,
 			fmt.Sprintf("%.4f", h.Mean()),
-			fmt.Sprintf("%.4f", h.Min()),
-			fmt.Sprintf("%.4f", h.Max()),
+			fmt.Sprintf("%.4f", h.Quantile(0.50)),
+			fmt.Sprintf("%.4f", h.Quantile(0.95)),
+			fmt.Sprintf("%.4f", h.Quantile(0.99)),
 			paper,
 		}
 	}
 	return &Table{
 		Title: fmt.Sprintf("V-D join/rejoin latency (RSA-%d, link latency %v, n=%d)",
 			r.Cfg.RSABits, r.Cfg.LinkLatency, r.Cfg.Iterations),
-		Headers: []string{"protocol", "mean s", "min s", "max s", "paper"},
+		Headers: []string{"protocol", "mean s", "p50 s", "p95 s", "p99 s", "paper"},
 		Rows: [][]string{
-			row("join (7 steps)", &r.Join, "0.45 s"),
-			row("rejoin (6 steps)", &r.Rejoin, "0.40 s"),
-			row("rejoin, no verify", &r.RejoinNoVerify, "0.28 s"),
+			row("join (7 steps)", r.Join, "0.45 s"),
+			row("rejoin (6 steps)", r.Rejoin, "0.40 s"),
+			row("rejoin, no verify", r.RejoinNoVerify, "0.28 s"),
 		},
 		Notes: []string{
 			"absolute times reflect this host, not the paper's Pentium-III testbed",
+			"quantiles are bucket-interpolated from the member-side histograms (same series as /metrics)",
 			"shape target: rejoin ≤ join; rejoin without steps 4-5 clearly fastest",
 			fmt.Sprintf("sim.dropped.overflow=%d (nonzero means retries inflated the times)", r.DroppedOverflow),
 		},

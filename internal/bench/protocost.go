@@ -45,18 +45,21 @@ func ProtocolCosts(rsaBits int) ([]ProtocolCostRow, error) {
 	}
 	run := func(skipVerify bool) (join, rejoin ProtocolCostRow, err error) {
 		net := simnet.New(simnet.Config{})
-		g, err := core.New(core.Config{
-			NumAreas: 2,
-			RSABits:  rsaBits,
-			Net:      net,
+		opts := []core.Option{
+			core.WithAreas(2),
+			core.WithRSABits(rsaBits),
+			core.WithNet(net),
 			// Generous quiet periods so no alive/heartbeat traffic
 			// pollutes the counters during the measurement.
-			TIdle:            time.Hour,
-			TActive:          time.Hour,
-			RekeyInterval:    time.Hour,
-			SkipRejoinVerify: skipVerify,
-			OpTimeout:        time.Minute,
-		})
+			core.WithTIdle(time.Hour),
+			core.WithTActive(time.Hour),
+			core.WithRekeyInterval(time.Hour),
+			core.WithOpTimeout(time.Minute),
+		}
+		if skipVerify {
+			opts = append(opts, core.WithSkipRejoinVerify())
+		}
+		g, err := core.New(opts...)
 		if err != nil {
 			net.Close()
 			return join, rejoin, err

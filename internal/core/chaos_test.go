@@ -20,12 +20,11 @@ func TestChaosChurnWithFailures(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak in -short mode")
 	}
-	cfg := fastTiming(3)
-	cfg.Policy = area.AdmitOnPartition
 	// Rejoin attempts toward crashed controllers must fail fast or a
 	// member spends the whole soak stuck in one timed-out operation.
-	cfg.OpTimeout = 500 * time.Millisecond
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(3),
+		WithPolicy(area.AdmitOnPartition),
+		WithOpTimeout(500*time.Millisecond))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -123,7 +122,7 @@ func TestChaosChurnWithFailures(t *testing.T) {
 // survives and only the network blinked — the members must re-converge
 // via alive-epoch path recovery.
 func TestCrashedControllerRestartKeepsServing(t *testing.T) {
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"sync"
 	"time"
@@ -17,6 +18,8 @@ import (
 	"mykil/internal/crypt"
 	"mykil/internal/journal"
 	"mykil/internal/member"
+	"mykil/internal/node"
+	"mykil/internal/obs"
 	"mykil/internal/regserver"
 	"mykil/internal/replica"
 	"mykil/internal/simnet"
@@ -28,7 +31,9 @@ import (
 // keys are selected by raising Config.RSABits.
 const DefaultRSABits = 1024
 
-// Config describes a deployment.
+// Config describes a deployment. Prefer the functional-options form
+// core.New(core.WithAreas(2), ...); the struct remains for one release
+// as the NewFromConfig shim and as the option functions' target.
 type Config struct {
 	// NumAreas is the number of areas (and controllers). Controllers
 	// form a tree: controller i's parent is controller (i-1)/AreaFanout.
@@ -86,6 +91,10 @@ type Config struct {
 	// SegmentBytes overrides the journal segment rotation threshold;
 	// zero means the journal default.
 	SegmentBytes int64
+	// Observer, if set, receives structured protocol trace events from
+	// every component (handshake steps, rekeys, alive rounds,
+	// re-parenting, journal recovery). See internal/obs.
+	Observer obs.Sink
 	// Logf, if set, receives debug logging from every component.
 	Logf func(format string, args ...any)
 }
@@ -105,6 +114,8 @@ type Group struct {
 	pool        *crypt.Pool
 	rsKeys      *crypt.KeyPair
 	kShared     crypt.SymKey
+	metrics     *obs.Registry
+	trace       *obs.Tracer
 
 	// Durability (only populated when cfg.JournalDir is set).
 	acCfgs     []area.Config
@@ -130,8 +141,11 @@ func BackupAddr(i int) string { return fmt.Sprintf("backup-%d", i) }
 // RSAddr is the registration server's address.
 const RSAddr = "rs"
 
-// New builds and starts a deployment.
-func New(cfg Config) (*Group, error) {
+// NewFromConfig builds and starts a deployment from a Config struct.
+//
+// Deprecated: use New with functional options. This shim remains for
+// one release.
+func NewFromConfig(cfg Config) (*Group, error) {
 	if cfg.NumAreas <= 0 {
 		cfg.NumAreas = 1
 	}
@@ -157,7 +171,9 @@ func New(cfg Config) (*Group, error) {
 		pool:    crypt.NewPool(cfg.RSABits),
 		kShared: crypt.NewSymKey(),
 		members: make(map[string]*member.Member),
+		metrics: obs.NewRegistry(),
 	}
+	g.trace = obs.NewTracer("core", cfg.Clock, cfg.Observer)
 	if cfg.NewTransport == nil {
 		if cfg.Net != nil {
 			g.Net = cfg.Net
@@ -258,6 +274,10 @@ func New(cfg Config) (*Group, error) {
 			g.recovered = append(g.recovered, fmt.Sprintf(
 				"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
 				name, rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
+			g.trace.Event(obs.ProtoRecovery, name, "recovered",
+				obs.Int("records", int64(len(rec.Records))),
+				obs.Uint("snapshot_lsn", uint64(rec.SnapshotLSN)),
+				obs.Int("truncated_bytes", int64(rec.TruncatedBytes)))
 		}
 		return j, rec, nil
 	}
@@ -283,6 +303,7 @@ func New(cfg Config) (*Group, error) {
 			RekeyInterval:    cfg.RekeyInterval,
 			VerifyTimeout:    cfg.VerifyTimeout,
 			HeartbeatEvery:   cfg.HeartbeatEvery,
+			Observer:         cfg.Observer,
 			Logf:             cfg.Logf,
 		}
 		if i > 0 {
@@ -365,7 +386,8 @@ func New(cfg Config) (*Group, error) {
 					RekeyInterval: cfg.RekeyInterval,
 					VerifyTimeout: cfg.VerifyTimeout,
 				},
-				Logf: cfg.Logf,
+				Observer: cfg.Observer,
+				Logf:     cfg.Logf,
 			})
 			if err != nil {
 				return nil, err
@@ -379,6 +401,7 @@ func New(cfg Config) (*Group, error) {
 		Clock:       cfg.Clock,
 		Auth:        regserver.StaticAuthorizer(cfg.AuthDB),
 		Controllers: g.ctrlInfo,
+		Observer:    cfg.Observer,
 		Logf:        cfg.Logf,
 	}
 	if cfg.JournalDir != "" {
@@ -460,6 +483,10 @@ func (g *Group) RestartController(i int) error {
 		"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
 		ACID(i), rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
 	g.mu.Unlock()
+	g.trace.Event(obs.ProtoRecovery, ACID(i), "recovered",
+		obs.Int("records", int64(len(rec.Records))),
+		obs.Uint("snapshot_lsn", uint64(rec.SnapshotLSN)),
+		obs.Int("truncated_bytes", int64(rec.TruncatedBytes)))
 	ctrl.Start()
 	return nil
 }
@@ -534,6 +561,8 @@ func (g *Group) NewMember(id string, mc MemberConfig) (*member.Member, error) {
 		TActive:    g.cfg.TActive,
 		TIdle:      g.cfg.TIdle,
 		OpTimeout:  g.cfg.OpTimeout,
+		Observer:   g.cfg.Observer,
+		Metrics:    g.metrics,
 		Logf:       g.cfg.Logf,
 	})
 	if err != nil {
@@ -568,6 +597,72 @@ func (g *Group) Member(id string) *member.Member {
 
 // WarmMemberKeys pre-generates n member key pairs in parallel.
 func (g *Group) WarmMemberKeys(n int) error { return g.pool.Warm(n) }
+
+// Metrics returns the group-level registry holding the member join and
+// rejoin latency histograms (shared across all members of the group).
+func (g *Group) Metrics() *obs.Registry { return g.metrics }
+
+// metricRegistries snapshots every registry in the deployment: the
+// group-level histograms, each controller, the registration server,
+// every member's loop counters, and the simulated network (when owned).
+func (g *Group) metricRegistries() []*obs.Registry {
+	regs := []*obs.Registry{g.metrics}
+	g.mu.Lock()
+	for _, c := range g.controllers {
+		regs = append(regs, c.Stats())
+	}
+	for _, m := range g.members {
+		regs = append(regs, m.Stats())
+	}
+	g.mu.Unlock()
+	if g.RS != nil {
+		regs = append(regs, g.RS.Stats())
+	}
+	if g.Net != nil {
+		regs = append(regs, g.Net.Stats())
+	}
+	return regs
+}
+
+// WriteMetrics writes every component's metrics as one merged
+// Prometheus text exposition — the body mykilnet serves on /metrics.
+func (g *Group) WriteMetrics(w io.Writer) error {
+	return obs.WriteAll(w, g.metricRegistries()...)
+}
+
+// DropSummary reports, one line per component, the commands each node
+// loop dropped after stopping (node.drops) plus the simulated network's
+// five sim.dropped.* counters — the loss surface a shutdown summary
+// should always show.
+func (g *Group) DropSummary() []string {
+	var out []string
+	g.mu.Lock()
+	controllers := append([]*area.Controller(nil), g.controllers...)
+	var memberDrops int64
+	nMembers := len(g.members)
+	for _, m := range g.members {
+		memberDrops += m.Stats().Value(node.StatDrops)
+	}
+	g.mu.Unlock()
+	for i, c := range controllers {
+		out = append(out, fmt.Sprintf("%s %s=%d", ACID(i), node.StatDrops, c.Stats().Value(node.StatDrops)))
+	}
+	if g.RS != nil {
+		out = append(out, fmt.Sprintf("regserver %s=%d", node.StatDrops, g.RS.Stats().Value(node.StatDrops)))
+	}
+	out = append(out, fmt.Sprintf("members(%d) %s=%d", nMembers, node.StatDrops, memberDrops))
+	if g.Net != nil {
+		st := g.Net.Stats()
+		for _, name := range []string{
+			simnet.StatDroppedPartition, simnet.StatDroppedCrashed,
+			simnet.StatDroppedRate, simnet.StatDroppedOverflow,
+			simnet.StatDroppedClosed,
+		} {
+			out = append(out, fmt.Sprintf("net %s=%d", name, st.Value(name)))
+		}
+	}
+	return out
+}
 
 // Close stops every component and, if the group owns it, the network.
 func (g *Group) Close() {

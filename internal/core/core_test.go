@@ -12,18 +12,18 @@ import (
 	"mykil/internal/wire"
 )
 
-// fastTiming returns a Config with millisecond-scale protocol timers so
+// fastTiming returns options with millisecond-scale protocol timers so
 // failure-detection scenarios complete quickly under the real clock.
-func fastTiming(areas int) Config {
-	return Config{
-		NumAreas:       areas,
-		RSABits:        512,
-		TIdle:          30 * time.Millisecond,
-		TActive:        60 * time.Millisecond,
-		RekeyInterval:  50 * time.Millisecond,
-		VerifyTimeout:  200 * time.Millisecond,
-		HeartbeatEvery: 30 * time.Millisecond,
-		OpTimeout:      5 * time.Second,
+func fastTiming(areas int) []Option {
+	return []Option{
+		WithAreas(areas),
+		WithRSABits(512),
+		WithTIdle(30 * time.Millisecond),
+		WithTActive(60 * time.Millisecond),
+		WithRekeyInterval(50 * time.Millisecond),
+		WithVerifyTimeout(200 * time.Millisecond),
+		WithHeartbeatEvery(30 * time.Millisecond),
+		WithOpTimeout(5 * time.Second),
 	}
 }
 
@@ -72,7 +72,7 @@ func (c *collector) has(msg string) bool {
 }
 
 func TestSingleAreaJoinAndMulticast(t *testing.T) {
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -109,7 +109,7 @@ func TestSingleAreaJoinAndMulticast(t *testing.T) {
 }
 
 func TestCrossAreaMulticast(t *testing.T) {
-	g, err := New(fastTiming(3)) // ac-0 root, ac-1 and ac-2 children
+	g, err := New(fastTiming(3)...) // ac-0 root, ac-1 and ac-2 children
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -147,7 +147,7 @@ func TestDeepAreaTreeMulticast(t *testing.T) {
 	// Seven areas in a three-level tree (ac-0; ac-1, ac-2; ac-3..ac-6):
 	// data from a grandchild area must climb two boundaries and descend
 	// the other branch, re-encrypted at every crossing.
-	g, err := New(fastTiming(7))
+	g, err := New(fastTiming(7)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -194,9 +194,8 @@ func TestDeepAreaTreeMulticast(t *testing.T) {
 }
 
 func TestTicketExpiryBlocksRejoin(t *testing.T) {
-	cfg := fastTiming(2)
-	cfg.AuthDB = map[string]time.Duration{"short": 300 * time.Millisecond}
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(2),
+		WithAuthDB(map[string]time.Duration{"short": 300 * time.Millisecond}))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -230,7 +229,7 @@ func TestTicketExpiryBlocksRejoin(t *testing.T) {
 }
 
 func TestLeaveRevokesAccess(t *testing.T) {
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -279,7 +278,7 @@ func TestLiveRekeyMatchesAnalysis(t *testing.T) {
 	// child0 (displaced from the root) and m1..m3 at the other children;
 	// m0's leave then changes only the root, encrypted under the three
 	// occupied sibling leaves: exactly 3 entries.
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -304,7 +303,7 @@ func TestLiveRekeyMatchesAnalysis(t *testing.T) {
 func TestRC4DataPathInterop(t *testing.T) {
 	// §V-E: a hand-held member using the RC4 data path exchanges
 	// multicast data with an AES member; the cipher travels per packet.
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -338,7 +337,7 @@ func TestRC4DataPathInterop(t *testing.T) {
 }
 
 func TestJoinDeniedBadAuth(t *testing.T) {
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -357,10 +356,8 @@ func TestJoinDeniedBadAuth(t *testing.T) {
 }
 
 func TestBatchingFlushOnData(t *testing.T) {
-	cfg := fastTiming(1)
-	cfg.Batching = true
-	cfg.RekeyInterval = time.Hour // flush must come from data, not timer
-	g, err := New(cfg)
+	// An hour-long rekey interval: the flush must come from data, not timer.
+	g, err := New(append(fastTiming(1), WithBatching(), WithRekeyInterval(time.Hour))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -414,10 +411,7 @@ func TestBatchingFlushOnData(t *testing.T) {
 }
 
 func TestBatchingFlushOnTimer(t *testing.T) {
-	cfg := fastTiming(1)
-	cfg.Batching = true
-	cfg.RekeyInterval = 80 * time.Millisecond
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(1), WithBatching(), WithRekeyInterval(80*time.Millisecond))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -435,7 +429,7 @@ func TestBatchingFlushOnTimer(t *testing.T) {
 }
 
 func TestMemberEvictionOnSilence(t *testing.T) {
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -459,7 +453,7 @@ func TestMemberEvictionOnSilence(t *testing.T) {
 }
 
 func TestTicketRejoinToAnotherArea(t *testing.T) {
-	g, err := New(fastTiming(2))
+	g, err := New(fastTiming(2)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -506,7 +500,7 @@ func TestTicketRejoinToAnotherArea(t *testing.T) {
 func TestRejoinDeniedWhileStillMember(t *testing.T) {
 	// The §IV-B anti-cohort check: a ticket whose holder is still an
 	// active member of its old area must be rejected elsewhere.
-	g, err := New(fastTiming(2))
+	g, err := New(fastTiming(2)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -533,9 +527,7 @@ func TestRejoinDeniedWhileStillMember(t *testing.T) {
 }
 
 func TestAutoRejoinAfterPartition(t *testing.T) {
-	cfg := fastTiming(2)
-	cfg.Policy = area.AdmitOnPartition
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(2), WithPolicy(area.AdmitOnPartition))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -556,9 +548,7 @@ func TestAutoRejoinAfterPartition(t *testing.T) {
 }
 
 func TestControllerFailover(t *testing.T) {
-	cfg := fastTiming(1)
-	cfg.WithBackups = true
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(1), WithBackups())...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -596,7 +586,7 @@ func TestControllerFailover(t *testing.T) {
 }
 
 func TestReparentAfterParentFailure(t *testing.T) {
-	g, err := New(fastTiming(3)) // ac-0 root; ac-1, ac-2 its children
+	g, err := New(fastTiming(3)...) // ac-0 root; ac-1, ac-2 its children
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -616,7 +606,7 @@ func TestReparentAfterParentFailure(t *testing.T) {
 }
 
 func TestEpochGapRecovery(t *testing.T) {
-	g, err := New(fastTiming(1))
+	g, err := New(fastTiming(1)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
@@ -654,7 +644,7 @@ func TestManyMembersChurn(t *testing.T) {
 	if testing.Short() {
 		t.Skip("churn test in -short mode")
 	}
-	g, err := New(fastTiming(2))
+	g, err := New(fastTiming(2)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

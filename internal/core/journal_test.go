@@ -13,18 +13,17 @@ import (
 // so a transparent recovery never trips member-side failure detection,
 // and pushes freshness rekeys out of the way so both runs see a purely
 // operation-driven epoch sequence.
-func journalTiming(dir string) Config {
-	return Config{
-		NumAreas:       1,
-		RSABits:        512,
-		TIdle:          150 * time.Millisecond,
-		TActive:        50 * time.Millisecond,
-		RekeyInterval:  time.Hour,
-		VerifyTimeout:  500 * time.Millisecond,
-		HeartbeatEvery: 50 * time.Millisecond,
-		OpTimeout:      10 * time.Second,
-		JournalDir:     dir,
-		FsyncPolicy:    "always",
+func journalTiming(dir string) []Option {
+	return []Option{
+		WithAreas(1),
+		WithRSABits(512),
+		WithTIdle(150 * time.Millisecond),
+		WithTActive(50 * time.Millisecond),
+		WithRekeyInterval(time.Hour),
+		WithVerifyTimeout(500 * time.Millisecond),
+		WithHeartbeatEvery(50 * time.Millisecond),
+		WithOpTimeout(10 * time.Second),
+		WithJournal(dir, "always"),
 	}
 }
 
@@ -67,12 +66,12 @@ func TestControllerCrashRestart(t *testing.T) {
 		ctrlRecv[i] = &collector{}
 	}
 
-	crashGrp, err := New(journalTiming(t.TempDir()))
+	crashGrp, err := New(journalTiming(t.TempDir())...)
 	if err != nil {
 		t.Fatalf("New (crash group): %v", err)
 	}
 	defer crashGrp.Close()
-	control, err := New(journalTiming(t.TempDir()))
+	control, err := New(journalTiming(t.TempDir())...)
 	if err != nil {
 		t.Fatalf("New (control group): %v", err)
 	}

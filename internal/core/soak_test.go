@@ -20,9 +20,7 @@ func TestSoakFiveAreasFortyMembers(t *testing.T) {
 		t.Skip("soak in -short mode")
 	}
 	const population = 40
-	cfg := fastTiming(5)
-	cfg.Policy = area.AdmitOnPartition
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(5), WithPolicy(area.AdmitOnPartition))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

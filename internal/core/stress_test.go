@@ -21,8 +21,7 @@ func TestConcurrentAccessDuringChurn(t *testing.T) {
 		readers    = 4
 		churnIters = 6
 	)
-	cfg := fastTiming(2)
-	g, err := New(cfg)
+	g, err := New(fastTiming(2)...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

@@ -13,11 +13,10 @@ func TestGroupOverTCP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP stack in -short mode")
 	}
-	cfg := fastTiming(2)
-	cfg.NewTransport = func(string) (transport.Transport, error) {
-		return transport.NewTCP("127.0.0.1:0")
-	}
-	g, err := New(cfg)
+	g, err := New(append(fastTiming(2),
+		WithTransportFactory(func(string) (transport.Transport, error) {
+			return transport.NewTCP("127.0.0.1:0")
+		}))...)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}

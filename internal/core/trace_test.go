@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mykil/internal/obs"
+)
+
+// steps extracts the numbered handshake steps (oldest first) for one
+// protocol+subject from a ring sink, ignoring un-numbered events.
+func steps(ring *obs.Ring, proto obs.Protocol, subject string) []int {
+	var out []int
+	for _, e := range ring.Filter(proto, subject) {
+		if e.Step != 0 {
+			out = append(out, e.Step)
+		}
+	}
+	return out
+}
+
+func stepsEqual(got []int, want ...int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJoinTraceShape pins the paper's §III-B message flow: on a lossless
+// network a join is exactly steps 1..7, in order, across the member, the
+// registration server, and the admitting controller.
+func TestJoinTraceShape(t *testing.T) {
+	ring := obs.NewRing(4096)
+	g, err := New(append(fastTiming(1), WithObserver(ring))...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+
+	if _, err := g.AddMember("m1", MemberConfig{}); err != nil {
+		t.Fatalf("AddMember: %v", err)
+	}
+	got := steps(ring, obs.ProtoJoin, "m1")
+	if !stepsEqual(got, 1, 2, 3, 4, 5, 6, 7) {
+		t.Errorf("join steps = %v, want [1 2 3 4 5 6 7]", got)
+	}
+}
+
+// TestRejoinTraceShape pins the §III-D ticket rejoin: six steps with the
+// anti-cohort verification round 4-5 to the previous controller, and
+// steps [1 2 3 6] when SkipRejoinVerify truncates it (§V-D option 2).
+func TestRejoinTraceShape(t *testing.T) {
+	run := func(skipVerify bool) []int {
+		t.Helper()
+		ring := obs.NewRing(4096)
+		opts := append(fastTiming(2), WithObserver(ring))
+		if skipVerify {
+			opts = append(opts, WithSkipRejoinVerify())
+		}
+		g, err := New(opts...)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer g.Close()
+
+		m, err := g.AddMember("mob", MemberConfig{})
+		if err != nil {
+			t.Fatalf("AddMember: %v", err)
+		}
+		first := m.ControllerID()
+		var target string
+		for _, e := range g.Directory() {
+			if e.ID != first {
+				target = e.ID
+			}
+		}
+		if err := m.Leave(); err != nil {
+			t.Fatalf("Leave: %v", err)
+		}
+		if err := m.Rejoin(target); err != nil {
+			t.Fatalf("Rejoin: %v", err)
+		}
+		return steps(ring, obs.ProtoRejoin, "mob")
+	}
+
+	if got := run(false); !stepsEqual(got, 1, 2, 3, 4, 5, 6) {
+		t.Errorf("rejoin steps = %v, want [1 2 3 4 5 6]", got)
+	}
+	if got := run(true); !stepsEqual(got, 1, 2, 3, 6) {
+		t.Errorf("skip-verify rejoin steps = %v, want [1 2 3 6]", got)
+	}
+}
+
+// TestRecoveryTraceShape crashes and restarts a journaled controller and
+// checks the recovery span's replayed-record count against the
+// human-readable RecoverySummary.
+func TestRecoveryTraceShape(t *testing.T) {
+	ring := obs.NewRing(4096)
+	g, err := New(append(journalTiming(t.TempDir()), WithObserver(ring))...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer g.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := g.AddMember(fmt.Sprintf("m%d", i), MemberConfig{}); err != nil {
+			t.Fatalf("AddMember: %v", err)
+		}
+	}
+	if err := g.RestartController(0); err != nil {
+		t.Fatalf("RestartController: %v", err)
+	}
+
+	evs := ring.Filter(obs.ProtoRecovery, "ac-0")
+	if len(evs) == 0 {
+		t.Fatal("no recovery trace event for ac-0")
+	}
+	var records int
+	for _, a := range evs[len(evs)-1].Attrs {
+		if a.K == "records" {
+			fmt.Sscanf(a.V, "%d", &records)
+		}
+	}
+
+	var summary string
+	for _, line := range g.RecoverySummary() {
+		if strings.HasPrefix(line, "ac-0:") {
+			summary = line
+		}
+	}
+	if summary == "" {
+		t.Fatalf("no ac-0 line in RecoverySummary %v", g.RecoverySummary())
+	}
+	var lsn, wantRecords, torn int
+	if _, err := fmt.Sscanf(summary, "ac-0: recovered snapshot@%d + %d records (truncated %d torn bytes)",
+		&lsn, &wantRecords, &torn); err != nil {
+		t.Fatalf("unparseable summary %q: %v", summary, err)
+	}
+	if records != wantRecords || wantRecords == 0 {
+		t.Errorf("recovery span records=%d, RecoverySummary says %d (want equal, nonzero)", records, wantRecords)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
 	"mykil/internal/node"
+	"mykil/internal/obs"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -67,6 +68,13 @@ type Config struct {
 	TActive   time.Duration
 	TIdle     time.Duration
 	OpTimeout time.Duration
+	// Observer, if set, receives structured protocol trace events for
+	// the member's side of the join/rejoin handshakes and alive rounds.
+	Observer obs.Sink
+	// Metrics, if set, receives the member's join/rejoin latency
+	// histograms. Several members may share one registry so counts
+	// aggregate; nil disables latency recording.
+	Metrics *obs.Registry
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -117,6 +125,9 @@ type pendingOp struct {
 	acAddr  string
 	acID    string
 	acPub   crypt.PublicKey
+	// start is the clock reading when the operation began, feeding the
+	// join/rejoin latency histograms on success.
+	start time.Time
 }
 
 // Member is one group member. Create with New, start with Start.
@@ -152,6 +163,10 @@ type Member struct {
 	received int64
 	rekeys   int64
 
+	trace      *obs.Tracer
+	joinHist   *obs.Histogram
+	rejoinHist *obs.Histogram
+
 	loop *node.Loop
 }
 
@@ -165,6 +180,11 @@ func New(cfg Config) (*Member, error) {
 		clk:             cfg.Clock,
 		rejoinBlacklist: make(map[string]time.Time),
 	}
+	m.trace = obs.NewTracer(cfg.ID, cfg.Clock, cfg.Observer)
+	if cfg.Metrics != nil {
+		m.joinHist = cfg.Metrics.Histogram(obs.MetricJoinSeconds, obs.HelpJoinSeconds, nil)
+		m.rejoinHist = cfg.Metrics.Histogram(obs.MetricRejoinSeconds, obs.HelpRejoinSeconds, nil)
+	}
 	m.loop = node.New(node.Config{
 		Name:      cfg.ID,
 		Transport: cfg.Transport,
@@ -173,10 +193,15 @@ func New(cfg Config) (*Member, error) {
 		OnFrame:   m.handleFrame,
 		OnTick:    m.housekeeping,
 		OnExit:    func() { m.failOp(ErrStopped) },
+		Stats:     obs.NewRegistry(obs.L("node", cfg.ID)),
 		Logf:      cfg.Logf,
 	})
 	return m, nil
 }
+
+// Stats exposes the member's node-loop counters (frames, commands,
+// ticks, drops), labeled with the member's ID.
+func (m *Member) Stats() *obs.Registry { return m.loop.Stats() }
 
 // Start launches the member loop.
 func (m *Member) Start() {

@@ -5,6 +5,7 @@ import (
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/obs"
 	"mykil/internal/wire"
 )
 
@@ -18,13 +19,16 @@ func (m *Member) startJoin(errc chan error) {
 		errc <- fmt.Errorf("member: no registration server configured")
 		return
 	}
+	now := m.clk.Now()
 	m.op = &pendingOp{
 		kind:     opJoin,
-		deadline: m.clk.Now().Add(m.cfg.OpTimeout),
+		deadline: now.Add(m.cfg.OpTimeout),
 		errc:     errc,
 		nonceCW:  crypt.Nonce(),
+		start:    now,
 	}
 	// Step 1: {auth-info; Pub_k; Nonce_CW; MAC}_Pub_rs.
+	m.trace.Step(obs.ProtoJoin, m.cfg.ID, 1, "JoinRequest", obs.String("rs", m.cfg.RSAddr))
 	m.sendSealed(m.cfg.RSAddr, m.cfg.RSPub, wire.KindJoinRequest, wire.JoinRequest{
 		AuthInfo:   m.cfg.AuthInfo,
 		ClientID:   m.cfg.ID,
@@ -51,6 +55,7 @@ func (m *Member) handleJoinChallenge(f *wire.Frame) {
 		return
 	}
 	// Step 3: {Nonce_WC+1; MAC}_Pub_rs.
+	m.trace.Step(obs.ProtoJoin, m.cfg.ID, 3, "JoinResponse")
 	m.sendSealed(m.cfg.RSAddr, m.cfg.RSPub, wire.KindJoinResponse, wire.JoinResponse{
 		ClientID:     m.cfg.ID,
 		NonceWCPlus1: ch.NonceWC + 1,
@@ -84,6 +89,7 @@ func (m *Member) handleJoinGrant(f *wire.Frame) {
 	m.directory = append([]wire.ACInfo(nil), g.Directory...)
 
 	// Step 6: {Nonce_AC+2; Nonce_CA; MAC}_Pub_ac.
+	m.trace.Step(obs.ProtoJoin, m.cfg.ID, 6, "JoinToAC", obs.String("ac", g.AC.ID))
 	m.sendSealed(g.AC.Addr, acPub, wire.KindJoinToAC, wire.JoinToAC{
 		ClientID:     m.cfg.ID,
 		ClientAddr:   m.cfg.Transport.Addr(),
@@ -150,16 +156,19 @@ func (m *Member) startRejoin(acID string, errc chan error) {
 		errc <- fmt.Errorf("member: controller %q key unparsable: %w", acID, err)
 		return
 	}
+	now := m.clk.Now()
 	m.op = &pendingOp{
 		kind:     opRejoin,
-		deadline: m.clk.Now().Add(m.cfg.OpTimeout),
+		deadline: now.Add(m.cfg.OpTimeout),
 		errc:     errc,
 		nonceCB:  crypt.Nonce(),
 		acAddr:   target.Addr,
 		acID:     target.ID,
 		acPub:    pub,
+		start:    now,
 	}
 	// Step 1: {Nonce_CB; ticket; MAC}_Pub_ac_b.
+	m.trace.Step(obs.ProtoRejoin, m.cfg.ID, 1, "RejoinRequest", obs.String("target", target.ID))
 	m.sendSealed(target.Addr, pub, wire.KindRejoinRequest, wire.RejoinRequest{
 		ClientID:   m.cfg.ID,
 		ClientAddr: m.cfg.Transport.Addr(),
@@ -182,6 +191,7 @@ func (m *Member) handleRejoinChallenge(f *wire.Frame) {
 		return
 	}
 	// Step 3: {Nonce_BC+1; MAC}_Pub_ac_b.
+	m.trace.Step(obs.ProtoRejoin, m.cfg.ID, 3, "RejoinResponse")
 	m.sendSealed(m.op.acAddr, m.op.acPub, wire.KindRejoinResponse, wire.RejoinResponse{
 		ClientID:     m.cfg.ID,
 		NonceBCPlus1: ch.NonceBC + 1,
@@ -255,10 +265,20 @@ func (m *Member) detach() {
 	m.acPub = crypt.PublicKey{}
 }
 
-// completeOp resolves the pending operation successfully.
+// completeOp resolves the pending operation successfully, recording the
+// handshake's latency against the clock reading taken at its start.
 func (m *Member) completeOp(err error) {
 	if m.op == nil {
 		return
+	}
+	if err == nil && !m.op.start.IsZero() {
+		elapsed := m.clk.Now().Sub(m.op.start).Seconds()
+		switch m.op.kind {
+		case opJoin:
+			m.joinHist.Observe(elapsed)
+		case opRejoin:
+			m.rejoinHist.Observe(elapsed)
+		}
 	}
 	m.op.errc <- err
 	m.op = nil

@@ -6,6 +6,7 @@ import (
 
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/obs"
 	"mykil/internal/wire"
 )
 
@@ -219,6 +220,7 @@ func (m *Member) housekeeping() {
 
 	// §IV-A: tell the controller we are alive if we have been quiet.
 	if now.Sub(m.lastSent) >= m.cfg.TActive {
+		m.trace.Event(obs.ProtoAlive, m.cfg.ID, "MemberAlive", obs.String("ac", m.acID))
 		m.sendPlain(m.acAddr, wire.KindMemberAlive, wire.MemberAlive{MemberID: m.cfg.ID})
 	}
 
@@ -226,6 +228,8 @@ func (m *Member) housekeeping() {
 	if now.Sub(m.lastACRecv) > silenceFactor*m.cfg.TIdle {
 		m.cfg.Logf("%s: controller %s silent for %v; disconnected",
 			m.cfg.ID, m.acID, now.Sub(m.lastACRecv))
+		m.trace.Event(obs.ProtoAlive, m.cfg.ID, "controller-silent",
+			obs.String("ac", m.acID), obs.Dur("silence", now.Sub(m.lastACRecv)))
 		m.lastFailedAC = m.acID
 		m.detach()
 		if m.cfg.AutoRejoin && m.op == nil {

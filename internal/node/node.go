@@ -15,7 +15,7 @@ import (
 	"time"
 
 	"mykil/internal/clock"
-	"mykil/internal/stats"
+	"mykil/internal/obs"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -51,7 +51,7 @@ type Config struct {
 	// fail pending blocking operations.
 	OnExit func()
 	// Stats receives the loop's counters; nil means a loop-owned registry.
-	Stats *stats.Registry
+	Stats *obs.Registry
 	// CommandBuffer sizes the command channel; zero means 16.
 	CommandBuffer int
 	// Logf, if set, receives debug logging.
@@ -63,7 +63,14 @@ type Config struct {
 // through Enqueue and Call.
 type Loop struct {
 	cfg Config
-	st  *stats.Registry
+	st  *obs.Registry
+
+	// Typed handles into st, registered at construction so a misspelled
+	// counter name cannot silently mint a new series.
+	cFrames   *obs.Counter
+	cCommands *obs.Counter
+	cTicks    *obs.Counter
+	cDrops    *obs.Counter
 
 	commands chan func()
 	stopReq  chan struct{} // closed by Close to request shutdown
@@ -95,8 +102,12 @@ func New(cfg Config) *Loop {
 		stopped:  make(chan struct{}),
 	}
 	if l.st == nil {
-		l.st = &stats.Registry{}
+		l.st = obs.NewRegistry()
 	}
+	l.cFrames = l.st.Counter(StatFrames, "Transport frames dispatched to OnFrame.")
+	l.cCommands = l.st.Counter(StatCommands, "Commands executed on the loop.")
+	l.cTicks = l.st.Counter(StatTicks, "Housekeeping ticks fired.")
+	l.cDrops = l.st.Counter(StatDrops, "Commands dropped because the loop had stopped.")
 	return l
 }
 
@@ -127,7 +138,7 @@ func (l *Loop) Stopped() <-chan struct{} { return l.stopped }
 func (l *Loop) Exit() { l.exit = true }
 
 // Stats exposes the loop's counter registry (concurrency-safe).
-func (l *Loop) Stats() *stats.Registry { return l.st }
+func (l *Loop) Stats() *obs.Registry { return l.st }
 
 // Enqueue hands fn to the loop without waiting for it to run. Once the
 // loop has stopped the command is counted under StatDrops, logged, and
@@ -182,7 +193,7 @@ func (l *Loop) Call(fn func()) error {
 }
 
 func (l *Loop) dropped() error {
-	l.st.Add(StatDrops, 1)
+	l.cDrops.Inc()
 	l.cfg.Logf("%s: command dropped: loop stopped", l.cfg.Name)
 	return ErrStopped
 }
@@ -203,13 +214,13 @@ func (l *Loop) run() {
 	for {
 		select {
 		case f := <-l.cfg.Transport.Recv():
-			l.st.Add(StatFrames, 1)
+			l.cFrames.Inc()
 			l.cfg.OnFrame(f)
 		case fn := <-l.commands:
-			l.st.Add(StatCommands, 1)
+			l.cCommands.Inc()
 			fn()
 		case <-tickC:
-			l.st.Add(StatTicks, 1)
+			l.cTicks.Inc()
 			if l.cfg.OnTick != nil {
 				l.cfg.OnTick()
 			}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mykil/internal/clock"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.frames", "frames handled")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if got := r.Value("test.frames"); got != 4 {
+		t.Errorf("registry value = %d, want 4", got)
+	}
+	g := r.Gauge("test.depth", "queue depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+
+	// Re-registering the same name+kind returns the same handle.
+	if r.Counter("test.frames", "frames handled") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	// Nil handles are safe.
+	var nc *Counter
+	nc.Add(1)
+	nc.Inc()
+	if nc.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var ng *Gauge
+	ng.Set(1)
+	ng.Add(1)
+	if ng.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+}
+
+func TestUnknownNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("known", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("Value on unknown name did not panic")
+		}
+	}()
+	r.Value("knwon") // typo must fail loudly
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestSnapshotStringNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two", "").Add(2)
+	r.Counter("a.one", "").Inc()
+	r.Histogram("h.lat", "", nil).Observe(0.01)
+	if got, want := r.String(), "a.one=1 b.two=2 h.lat=1"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a.one" || names[2] != "h.lat" {
+		t.Errorf("Names() = %v", names)
+	}
+	snap := r.Snapshot()
+	if snap["b.two"] != 2 || snap["h.lat"] != 1 {
+		t.Errorf("Snapshot() = %v", snap)
+	}
+	r.Reset()
+	if r.Value("a.one") != 0 {
+		t.Error("Reset did not zero counter")
+	}
+	if r.Value("h.lat") != 1 {
+		t.Error("Reset touched histogram observations")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 55.6 {
+		t.Errorf("sum = %g, want 55.6", got)
+	}
+	if got := h.Mean(); got < 11.11 || got > 11.13 {
+		t.Errorf("mean = %g, want ~11.12", got)
+	}
+	// p40 falls into the first bucket (2 of 5 observations <= 0.1).
+	if q := h.Quantile(0.4); q <= 0 || q > 0.1 {
+		t.Errorf("p40 = %g, want in (0, 0.1]", q)
+	}
+	// p99 lands in the overflow bucket and reports the top bound.
+	if q := h.Quantile(0.99); q != 10 {
+		t.Errorf("p99 = %g, want 10", q)
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1.5) != 0 {
+		t.Error("out-of-range quantile not zero")
+	}
+	var nh *Histogram
+	nh.Observe(1)
+	if nh.Count() != 0 || nh.Mean() != 0 || nh.Quantile(0.5) != 0 {
+		t.Error("nil histogram not inert")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+	if got := h.Sum(); got < 7.99 || got > 8.01 {
+		t.Errorf("sum = %g, want ~8", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry(L("node", "ac-0"))
+	r.Counter("sim.dropped.rate", "Messages dropped by loss injection.").Add(3)
+	r.Histogram(MetricJoinSeconds, HelpJoinSeconds, []float64{0.1, 1}).Observe(0.05)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP sim_dropped_rate Messages dropped by loss injection.",
+		"# TYPE sim_dropped_rate counter",
+		`sim_dropped_rate{node="ac-0"} 3`,
+		"# TYPE mykil_member_join_seconds histogram",
+		`mykil_member_join_seconds_bucket{node="ac-0",le="0.1"} 1`,
+		`mykil_member_join_seconds_bucket{node="ac-0",le="+Inf"} 1`,
+		`mykil_member_join_seconds_sum{node="ac-0"} 0.05`,
+		`mykil_member_join_seconds_count{node="ac-0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteAllMerges(t *testing.T) {
+	a := NewRegistry(L("node", "ac-0"))
+	b := NewRegistry(L("node", "ac-1"))
+	a.Counter("ac.joins", "Members admitted.").Add(2)
+	b.Counter("ac.joins", "Members admitted.").Add(5)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE ac_joins counter") != 1 {
+		t.Errorf("TYPE header not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `ac_joins{node="ac-0"} 2`) || !strings.Contains(out, `ac_joins{node="ac-1"} 5`) {
+		t.Errorf("missing labeled series:\n%s", out)
+	}
+}
+
+func TestRingSink(t *testing.T) {
+	r := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{Step: i, Proto: ProtoJoin, Subject: "m1"})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || evs[0].Step != 3 || evs[2].Step != 5 {
+		t.Errorf("ring kept %v", evs)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	r.Emit(Event{Proto: ProtoRejoin, Subject: "m1", Step: 1})
+	got := r.Filter(ProtoRejoin, "m1")
+	if len(got) != 1 || got[0].Step != 1 {
+		t.Errorf("Filter = %v", got)
+	}
+	if len(r.Filter(ProtoJoin, "m2")) != 0 {
+		t.Error("Filter matched wrong subject")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Event{Node: "rs", Proto: ProtoJoin, Subject: "m1", Step: 2, Name: "JoinChallenge",
+		Attrs: []Attr{String("ac", "ac-0"), Uint("epoch", 3)}})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	for _, want := range []string{`"node":"rs"`, `"proto":"join"`, `"step":2`, `"subject":"m1"`, `{"k":"epoch","v":"3"}`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("JSONL line missing %q: %s", want, line)
+		}
+	}
+	if strings.Contains(line, "\n\n") || strings.Count(buf.String(), "\n") != 1 {
+		t.Errorf("not one line per event: %q", buf.String())
+	}
+}
+
+func TestTracer(t *testing.T) {
+	if tr := NewTracer("n", clock.Real{}, nil); tr != nil {
+		t.Error("nil sink should yield nil tracer")
+	}
+	var nilTracer *Tracer
+	nilTracer.Step(ProtoJoin, "m1", 1, "JoinRequest") // must not panic
+	nilTracer.Event(ProtoRekey, "area", "rekey")
+
+	fake := clock.NewFake(time.Unix(100, 0))
+	ring := NewRing(8)
+	tr := NewTracer("ac-0", fake, ring)
+	tr.Step(ProtoJoin, "m1", 7, "JoinWelcome", Uint("epoch", 2))
+	fake.Advance(time.Second)
+	tr.Event(ProtoAlive, "area-0", "ACAlive")
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Node != "ac-0" || evs[0].Step != 7 || !evs[0].Time.Equal(time.Unix(100, 0)) {
+		t.Errorf("event 0 = %+v", evs[0])
+	}
+	if !evs[1].Time.Equal(time.Unix(101, 0)) {
+		t.Errorf("event 1 time = %v, want clock-advanced", evs[1].Time)
+	}
+	if s := evs[0].String(); !strings.Contains(s, "step=7") || !strings.Contains(s, "epoch=2") {
+		t.Errorf("String() = %q", s)
+	}
+
+	multi := MultiSink{ring, nil, NewRing(2)}
+	multi.Emit(Event{Proto: ProtoJoin})
+	if ring.Len() != 3 {
+		t.Error("MultiSink did not forward")
+	}
+}

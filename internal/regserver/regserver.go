@@ -15,6 +15,7 @@ import (
 	"mykil/internal/crypt"
 	"mykil/internal/journal"
 	"mykil/internal/node"
+	"mykil/internal/obs"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -121,6 +122,9 @@ type Config struct {
 	// SnapshotEvery spaces registry snapshots in records; zero means
 	// DefaultSnapshotEvery.
 	SnapshotEvery int
+	// Observer, if set, receives structured protocol trace events for
+	// the server's side of the join handshake (steps 2, 4, 5).
+	Observer obs.Sink
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -154,6 +158,8 @@ type Server struct {
 	// so it stays readable after Close.
 	joins atomic.Int64
 
+	trace *obs.Tracer
+
 	loop *node.Loop
 }
 
@@ -183,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 		sessions: make(map[string]*session),
 		registry: make(map[string]RegisteredMember),
 	}
+	s.trace = obs.NewTracer("regserver", cfg.Clock, cfg.Observer)
 	if err := s.restoreFromJournal(cfg.Recovery); err != nil {
 		return nil, err
 	}
@@ -193,10 +200,15 @@ func New(cfg Config) (*Server, error) {
 		TickEvery: sessionTTL / 2,
 		OnFrame:   s.handle,
 		OnTick:    s.pruneSessions,
+		Stats:     obs.NewRegistry(obs.L("node", "regserver")),
 		Logf:      cfg.Logf,
 	})
 	return s, nil
 }
+
+// Stats exposes the server's node-loop counters (frames, commands,
+// ticks, drops).
+func (s *Server) Stats() *obs.Registry { return s.loop.Stats() }
 
 // Start launches the serving loop.
 func (s *Server) Start() {
@@ -255,6 +267,8 @@ func (s *Server) handleJoinRequest(f *wire.Frame) {
 	s.pruneSessions()
 	s.sessions[req.ClientID] = sess
 
+	// Step 2: challenge the client to prove possession of its key.
+	s.trace.Step(obs.ProtoJoin, req.ClientID, 2, "JoinChallenge")
 	s.sendSealed(req.ClientAddr, clientPub, wire.KindJoinChallenge, wire.JoinChallenge{
 		NonceCWPlus1: req.NonceCW + 1,
 		NonceWC:      sess.nonceWC,
@@ -304,6 +318,7 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 
 	// Step 4: refer the client to the area controller, signed so the AC
 	// can authenticate the referral's origin.
+	s.trace.Step(obs.ProtoJoin, sess.clientID, 4, "JoinRefer", obs.String("ac", ac.ID))
 	s.sendSealed(ac.Addr, acPub, wire.KindJoinRefer, wire.JoinRefer{
 		NonceAC:    nonceAC,
 		ClientID:   sess.clientID,
@@ -315,6 +330,8 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 
 	// Step 5: hand the client its AC plus the full controller directory
 	// for later rejoins (§IV-B).
+	s.trace.Step(obs.ProtoJoin, sess.clientID, 5, "JoinGrant", obs.String("ac", ac.ID),
+		obs.Dur("duration", sess.duration))
 	s.sendSealed(sess.clientAddr, sess.clientPub, wire.KindJoinGrant, wire.JoinGrant{
 		NonceACPlus1: nonceAC + 1,
 		AC:           ac,

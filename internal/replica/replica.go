@@ -16,6 +16,7 @@ import (
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
 	"mykil/internal/node"
+	"mykil/internal/obs"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
 )
@@ -60,6 +61,9 @@ type Config struct {
 	ColdState *area.State
 	// OnPromote, if set, is called with the promoted controller.
 	OnPromote func(*area.Controller)
+	// Observer, if set, receives a failover trace event on takeover. It
+	// is also handed to the promoted controller.
+	Observer obs.Sink
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +82,7 @@ type Backup struct {
 	lastHB    time.Time
 	hbSeen    bool
 	started   time.Time
+	trace     *obs.Tracer
 	promoted  *area.Controller
 	syncCount int64
 
@@ -110,6 +115,7 @@ func New(cfg Config) (*Backup, error) {
 		clk:      cfg.Clock,
 		takeover: takeover,
 	}
+	b.trace = obs.NewTracer(cfg.ID, cfg.Clock, cfg.Observer)
 	b.loop = node.New(node.Config{
 		Name:      cfg.ID,
 		Transport: cfg.Transport,
@@ -180,6 +186,8 @@ func (b *Backup) tick() {
 		return
 	}
 	b.loop.Exit()
+	b.trace.Event(obs.ProtoFailover, b.cfg.PrimaryID, "promoted",
+		obs.String("backup", b.cfg.ID))
 	ctrl.Start()
 	ctrl.AnnounceFailover()
 	b.mu.Lock()
@@ -276,6 +284,9 @@ func (b *Backup) maybePromote() *area.Controller {
 	cfg.Keys = b.cfg.Keys
 	cfg.Clock = b.cfg.Clock
 	cfg.Logf = b.cfg.Logf
+	if cfg.Observer == nil {
+		cfg.Observer = b.cfg.Observer
+	}
 	ctrl, err := area.NewFromState(cfg, st)
 	if err != nil {
 		b.cfg.Logf("%s: promotion failed: %v", b.cfg.ID, err)

@@ -11,7 +11,7 @@
 //     experiment (§V-D).
 //
 // Delivery is FIFO per (sender, receiver) link. All byte and message
-// counts are recorded in a stats.Registry so experiments can report
+// counts are recorded in a typed obs.Registry so experiments can report
 // bandwidth.
 package simnet
 
@@ -23,7 +23,7 @@ import (
 	"time"
 
 	"mykil/internal/clock"
-	"mykil/internal/stats"
+	"mykil/internal/obs"
 )
 
 // Counter names recorded in the network's stats registry.
@@ -90,7 +90,17 @@ type Network struct {
 	wg        sync.WaitGroup
 	clk       clock.Clock
 
-	reg *stats.Registry
+	reg *obs.Registry
+
+	// Typed counter handles, registered at construction.
+	cSentMsgs      *obs.Counter
+	cSentBytes     *obs.Counter
+	cDeliveredMsgs *obs.Counter
+	cDropPartition *obs.Counter
+	cDropCrashed   *obs.Counter
+	cDropRate      *obs.Counter
+	cDropOverflow  *obs.Counter
+	cDropClosed    *obs.Counter
 }
 
 type linkKey struct{ from, to string }
@@ -105,7 +115,7 @@ func New(cfg Config) *Network {
 	if clk == nil {
 		clk = clock.Real{}
 	}
-	return &Network{
+	n := &Network{
 		cfg:       cfg,
 		clk:       clk,
 		rng:       rand.New(rand.NewSource(seed)),
@@ -114,12 +124,21 @@ func New(cfg Config) *Network {
 		partition: make(map[string]int),
 		latency:   make(map[linkKey]time.Duration),
 		links:     make(map[linkKey]*link),
-		reg:       &stats.Registry{},
+		reg:       obs.NewRegistry(),
 	}
+	n.cSentMsgs = n.reg.Counter(StatSentMsgs, "Messages submitted to the network.")
+	n.cSentBytes = n.reg.Counter(StatSentBytes, "Payload bytes submitted to the network.")
+	n.cDeliveredMsgs = n.reg.Counter(StatDeliveredMsgs, "Messages delivered to an inbox.")
+	n.cDropPartition = n.reg.Counter(StatDroppedPartition, "Messages dropped crossing a partition boundary.")
+	n.cDropCrashed = n.reg.Counter(StatDroppedCrashed, "Messages dropped because the destination had crashed.")
+	n.cDropRate = n.reg.Counter(StatDroppedRate, "Messages dropped by random loss injection.")
+	n.cDropOverflow = n.reg.Counter(StatDroppedOverflow, "Messages dropped because the destination inbox was full.")
+	n.cDropClosed = n.reg.Counter(StatDroppedClosed, "Messages dropped because the endpoint or network had closed.")
+	return n
 }
 
 // Stats returns the network's counter registry.
-func (n *Network) Stats() *stats.Registry { return n.reg }
+func (n *Network) Stats() *obs.Registry { return n.reg }
 
 // Endpoint registers a new node and returns its endpoint.
 func (n *Network) Endpoint(addr string) (*Endpoint, error) {
@@ -269,19 +288,19 @@ func (n *Network) send(from, to string, payload []byte) error {
 		return fmt.Errorf("%w: %q", ErrNodeCrashed, from)
 	}
 
-	n.reg.Add(StatSentMsgs, 1)
-	n.reg.Add(StatSentBytes, int64(len(payload)))
+	n.cSentMsgs.Inc()
+	n.cSentBytes.Add(int64(len(payload)))
 
 	// Loss and partition checks happen at send time; a partition that
 	// forms after a message is in flight does not retroactively drop it.
 	if n.partition[from] != n.partition[to] {
 		n.mu.Unlock()
-		n.reg.Add(StatDroppedPartition, 1)
+		n.cDropPartition.Inc()
 		return nil // silent loss: senders learn via timeouts, like UDP/IP multicast
 	}
 	if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
 		n.mu.Unlock()
-		n.reg.Add(StatDroppedRate, 1)
+		n.cDropRate.Inc()
 		return nil
 	}
 
@@ -328,22 +347,22 @@ func (n *Network) deliver(env Envelope) {
 	crashed := n.crashed[env.To]
 	n.mu.Unlock()
 	if !ok || crashed {
-		n.reg.Add(StatDroppedCrashed, 1)
+		n.cDropCrashed.Inc()
 		return
 	}
 	select {
 	case <-ep.done:
-		n.reg.Add(StatDroppedClosed, 1)
+		n.cDropClosed.Inc()
 		return
 	default:
 	}
 	select {
 	case ep.inbox <- env:
-		n.reg.Add(StatDeliveredMsgs, 1)
+		n.cDeliveredMsgs.Inc()
 	case <-ep.done:
-		n.reg.Add(StatDroppedClosed, 1)
+		n.cDropClosed.Inc()
 	default:
-		n.reg.Add(StatDroppedOverflow, 1)
+		n.cDropOverflow.Inc()
 	}
 }
 

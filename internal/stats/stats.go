@@ -1,6 +1,13 @@
 // Package stats provides lightweight, concurrency-safe counters and
-// histograms used by the simulated network and the experiment harness to
-// account for messages, bytes, and latency distributions.
+// sample-based histograms for offline experiment analysis (exact
+// min/max/quantiles over retained samples).
+//
+// For live runtime metrics — node, simnet, and controller counters, and
+// the protocol latency histograms — use internal/obs instead: its
+// handles are typed and pre-registered (misspelled names fail loudly),
+// its histograms are fixed-bucket and allocation-free on the observe
+// path, and its registries export Prometheus text. Registry here is
+// kept one release for external callers and will then be removed.
 package stats
 
 import (
@@ -38,6 +45,10 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // Reset sets the counter back to zero.
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// Deprecated: use obs.Registry, whose typed, pre-registered handles
+// turn a misspelled metric name into a construction-time panic instead
+// of a silently fresh series.
+//
 // Registry is a named collection of counters, keyed by category string
 // (e.g. "keyupdate.multicast.bytes"). The zero value is ready to use.
 type Registry struct {
