@@ -29,7 +29,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|all")
+		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|megasim|all (megasim only runs when named)")
 		n       = flag.Int("n", bench.PaperGroupSize, "group size")
 		arity   = flag.Int("arity", bench.PaperArity, "auxiliary-key-tree arity (paper's byte arithmetic: 2)")
 		rsaBits = flag.Int("rsabits", 2048, "RSA modulus bits for the latency experiment")
@@ -37,6 +37,16 @@ func run() int {
 		iters   = flag.Int("iters", 5, "iterations for the latency experiment")
 		rc4MB   = flag.Int("rc4mb", 16, "buffer size (MB) for the RC4 experiment")
 		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+
+		// Mega-sim (-exp megasim only; excluded from "all").
+		msAreas  = flag.Int("msareas", 0, "megasim: area count (0 = n/5000)")
+		msShards = flag.Int("msshards", 0, "megasim: simnet delivery lanes (0 = auto)")
+		msBits   = flag.Int("msbits", 512, "megasim: shared-keypool RSA bits")
+		msPool   = flag.Int("mspool", 32, "megasim: distinct shared key pairs")
+		msDet    = flag.Bool("msdet", false, "megasim: deterministic single-lane virtual scheduler")
+		msJoin   = flag.Int("msjoiners", 0, "megasim: concurrent joining workers (0 = n/200, clamped)")
+		msSeed   = flag.Int64("msseed", 1, "megasim: key pool / jitter RNG seed")
+		msQuiet  = flag.Bool("msquiet", false, "megasim: suppress progress lines")
 	)
 	flag.Parse()
 
@@ -228,6 +238,39 @@ func run() int {
 		verdict(r.NoPruneCheaperJoins(), "no-prune joins avoid splits")
 		return nil
 	})
+
+	// The mega-sim runs only when asked for by name: at its default
+	// 100k-member scale it is a minutes-long measurement run, not part
+	// of the "all" regression sweep.
+	if *exp == "megasim" {
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "megasim: "+format+"\n", args...)
+		}
+		if *msQuiet {
+			logf = nil
+		}
+		r, err := bench.MegaSim(bench.MegaSimConfig{
+			Members:       *n,
+			Areas:         *msAreas,
+			Shards:        *msShards,
+			RSABits:       *msBits,
+			PoolSize:      *msPool,
+			Arity:         4,
+			Joiners:       *msJoin,
+			Deterministic: *msDet,
+			Seed:          *msSeed,
+			Logf:          logf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment megasim failed: %v\n", err)
+			ok = false
+		} else {
+			for _, t := range r.Tables() {
+				printTable(t)
+			}
+			verdict(r.ShapeHolds(), "measured structures, alive load, and fan-out match the §V model")
+		}
+	}
 
 	if !ok {
 		return 1

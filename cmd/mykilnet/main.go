@@ -6,6 +6,11 @@
 //
 // Usage: mykilnet [-areas N] [-members N] [-messages N] [-rsabits N]
 // [-churn N] [-metrics-addr HOST:PORT] [-trace FILE] [-linger D]
+// [-simnet [-shards N] [-latency D]]
+//
+// With -simnet the group runs over the in-process simulated network
+// (sharded delivery lanes) instead of TCP; the shutdown summary then
+// includes per-lane queue depths and drop counters.
 //
 // With -metrics-addr the process serves a Prometheus text exposition on
 // /metrics (every component's counters plus the member join/rejoin
@@ -27,6 +32,7 @@ import (
 	"mykil/internal/core"
 	"mykil/internal/member"
 	"mykil/internal/obs"
+	"mykil/internal/simnet"
 	"mykil/internal/transport"
 )
 
@@ -50,18 +56,28 @@ func run() error {
 		jdir        = flag.String("journal-dir", "", "enable durable journaling under this directory; rerunning with the same directory restarts the group from its journals")
 		fsync       = flag.String("fsync", "always", "journal sync policy: always, interval, or never")
 		segBytes    = flag.Int64("segment-bytes", 0, "journal segment rotation threshold (0 = default)")
+		useSimnet   = flag.Bool("simnet", false, "run over the in-process simulated network instead of TCP")
+		shards      = flag.Int("shards", 0, "simnet delivery lanes (with -simnet; 0 = one per core)")
+		latency     = flag.Duration("latency", 2*time.Millisecond, "simnet one-way link latency (with -simnet)")
 	)
 	flag.Parse()
 
 	opts := []core.Option{
 		core.WithAreas(*areas),
 		core.WithRSABits(*rsaBits),
-		core.WithTransportFactory(func(string) (transport.Transport, error) {
-			return transport.NewTCP("127.0.0.1:0")
-		}),
 		core.WithOpTimeout(time.Minute),
 		core.WithJournal(*jdir, *fsync),
 		core.WithSegmentBytes(*segBytes),
+	}
+	if *useSimnet {
+		opts = append(opts, core.WithNet(simnet.New(simnet.Config{
+			DefaultLatency: *latency,
+			Shards:         *shards,
+		})))
+	} else {
+		opts = append(opts, core.WithTransportFactory(func(string) (transport.Transport, error) {
+			return transport.NewTCP("127.0.0.1:0")
+		}))
 	}
 	if *tracePath != "" {
 		f, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -79,8 +95,12 @@ func run() error {
 		fmt.Printf("tracing protocol events to %s (JSON lines)\n", *tracePath)
 	}
 
-	fmt.Printf("starting Mykil over TCP: %d areas, %d members, RSA-%d\n",
-		*areas, *nMember, *rsaBits)
+	transportName := "TCP"
+	if *useSimnet {
+		transportName = "simnet"
+	}
+	fmt.Printf("starting Mykil over %s: %d areas, %d members, RSA-%d\n",
+		transportName, *areas, *nMember, *rsaBits)
 	g, err := core.New(opts...)
 	if err != nil {
 		return err
@@ -159,8 +179,8 @@ func run() error {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	fmt.Printf("delivered %d encrypted multicasts across %d TCP-connected areas\n",
-		delivered.Load(), *areas)
+	fmt.Printf("delivered %d encrypted multicasts across %d %s-connected areas\n",
+		delivered.Load(), *areas, transportName)
 
 	// Churn: every member leaves and ticket-rejoins (to another area
 	// when one exists), exercising the 6-step rejoin and filling the

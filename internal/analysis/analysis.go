@@ -104,6 +104,23 @@ type Check struct {
 	Doc string
 	// Run inspects one package and reports diagnostics through the pass.
 	Run func(*Pass)
+	// NoSuppressPaths lists import-path suffixes where //lint directives
+	// cannot silence this check. Use it for packages where the invariant
+	// is load-bearing enough that an inline escape hatch would defeat
+	// the point — the diagnostic is reported anyway, annotated with the
+	// refusal.
+	NoSuppressPaths []string
+}
+
+// noSuppressAt reports whether suppressions of this check are refused in
+// the package at the given import path.
+func (c *Check) noSuppressAt(path string) bool {
+	for _, p := range c.NoSuppressPaths {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
 }
 
 var (
@@ -169,6 +186,10 @@ func knownCheck(name string) bool {
 // Run executes the checks over the packages, applies //lint suppressions,
 // and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
+	byName := make(map[string]*Check, len(checks))
+	for _, c := range checks {
+		byName[c.Name] = c
+	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		dirs, dirDiags := collectDirectives(pkg)
@@ -179,9 +200,14 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 			c.Run(pass)
 		}
 		for _, d := range pkgDiags {
-			if !dirs.suppressed(d) {
-				all = append(all, d)
+			if dirs.suppressed(d) {
+				c := byName[d.Check]
+				if c == nil || !c.noSuppressAt(pkg.Path) {
+					continue
+				}
+				d.Message += fmt.Sprintf(" (//lint suppression refused: %s is a no-suppress path for %s)", pkg.Path, d.Check)
 			}
+			all = append(all, d)
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {

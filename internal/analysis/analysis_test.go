@@ -120,6 +120,7 @@ func TestFixtures(t *testing.T) {
 		"errcheckiofix",
 		"suppressfix",
 		"fileignorefix",
+		"strictpaths/internal/member",
 	}
 	for _, rel := range fixtures {
 		t.Run(strings.ReplaceAll(rel, "/", "_"), func(t *testing.T) {

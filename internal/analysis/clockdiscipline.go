@@ -38,8 +38,16 @@ func init() {
 		Name: "clockdiscipline",
 		Doc: "direct time.Now/Sleep/After/Since/Until/NewTimer/NewTicker outside internal/clock;\n" +
 			"protocol components must use the injected clock.Clock so journal replay and the\n" +
-			"§IV failure detectors stay deterministic (package main and tests exempt)",
+			"§IV failure detectors stay deterministic (package main and tests exempt).\n" +
+			"In internal/member and internal/simnet even //lint directives cannot silence it:\n" +
+			"one raw sleep or ticker there would couple every virtual-time mega-sim run back\n" +
+			"to the wall clock",
 		Run: runClockDiscipline,
+		// The mega-sim's whole premise — 100k members advancing under
+		// Fake.Advance with zero real waiting — dies silently if member
+		// or simnet code regrows a raw time.Sleep/time.NewTicker, so no
+		// inline escape hatch exists there.
+		NoSuppressPaths: []string{"internal/member", "internal/simnet"},
 	})
 }
 

@@ -1,0 +1,21 @@
+// Package member exercises NoSuppressPaths: its import path ends in
+// internal/member, where clockdiscipline refuses //lint directives, so
+// both the file-ignore and the line ignore below are overridden and the
+// diagnostics survive with a refusal note.
+package member
+
+//lint:file-ignore clockdiscipline attempting to silence the virtual-time invariant
+
+import "time"
+
+// Wait sleeps on the wall clock; the file-wide ignore must be refused.
+func Wait() {
+	time.Sleep(time.Millisecond) // want "suppression refused"
+}
+
+// Tick builds a raw ticker; the line ignore must be refused too.
+func Tick() {
+	//lint:ignore clockdiscipline trying the line form as well
+	t := time.NewTicker(time.Second) // want "suppression refused"
+	t.Stop()
+}

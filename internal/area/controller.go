@@ -416,6 +416,16 @@ func (c *Controller) Epoch() uint64 {
 	return e
 }
 
+// TreeNodes reports the auxiliary key tree's node count — the
+// controller-side storage figure of §V-A.
+func (c *Controller) TreeNodes() int {
+	var n int
+	if err := c.call(func() { n = c.tree.NumNodes() }); err != nil {
+		return 0
+	}
+	return n
+}
+
 // ParentID reports the current parent controller ID ("" when the area is
 // the root or orphaned).
 func (c *Controller) ParentID() string {

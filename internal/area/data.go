@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mykil/internal/crypt"
+	"mykil/internal/intern"
 	"mykil/internal/keytree"
 	"mykil/internal/obs"
 	"mykil/internal/wire"
@@ -216,7 +217,7 @@ func (c *Controller) handleData(f *wire.Frame) {
 	if d.Seq <= c.seenSeq[d.Origin] {
 		return
 	}
-	c.seenSeq[d.Origin] = d.Seq
+	c.seenSeq[intern.ID(d.Origin)] = d.Seq
 
 	if entry, ok := c.members[d.Origin]; ok && entry.addr == f.From {
 		entry.lastSeen = c.clk.Now()

@@ -59,16 +59,26 @@ type sealJob struct {
 }
 
 // sealSends seals (and optionally signs) each job on the worker pool —
-// RSA encrypt and sign are the dominant per-member batch cost — then
-// sends the frames in job order from the loop (loop context).
+// RSA encrypt and sign are the dominant per-member batch cost — and
+// sends each frame, in job order, as soon as it and its predecessors
+// are sealed (loop context). Streaming the sends keeps the first
+// welcome on the wire within one seal's latency instead of a whole
+// batch's: a large flush no longer leaves the network silent while
+// hundreds of seals grind, which both overlaps crypto with delivery
+// and gives virtual-time drivers a live traffic signal to pace by.
 func (c *Controller) sealSends(jobs []sealJob) {
 	if len(jobs) == 0 {
 		return
 	}
 	frames := make([]*wire.Frame, len(jobs))
 	errs := make([]error, len(jobs))
+	ready := make([]chan struct{}, len(jobs))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
 	self := c.cfg.Transport.Addr()
-	c.pool.Map(len(jobs), func(i int) {
+	go c.pool.Map(len(jobs), func(i int) {
+		defer close(ready[i])
 		j := jobs[i]
 		blob, err := wire.SealBody(j.to, j.body)
 		if err != nil {
@@ -81,11 +91,12 @@ func (c *Controller) sealSends(jobs []sealJob) {
 		}
 		frames[i] = f
 	})
-	for i, f := range frames {
-		if f == nil {
+	for i := range jobs {
+		<-ready[i]
+		if frames[i] == nil {
 			c.cfg.Logf("%s: sealing %v: %v", c.cfg.ID, jobs[i].kind, errs[i])
 			continue
 		}
-		c.send(jobs[i].addr, f)
+		c.send(jobs[i].addr, frames[i])
 	}
 }

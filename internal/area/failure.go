@@ -3,6 +3,7 @@ package area
 import (
 	"time"
 
+	"mykil/internal/intern"
 	"mykil/internal/keytree"
 	"mykil/internal/obs"
 	"mykil/internal/wire"
@@ -91,10 +92,10 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 	}
 	c.rememberAreaKey(oldAreaKey)
 	c.lastRekey = c.clk.Now()
-	c.members[req.ACID] = &memberEntry{
-		id:        req.ACID,
-		addr:      req.ACAddr,
-		pubDER:    entry.PubDER,
+	c.members[intern.ID(req.ACID)] = &memberEntry{
+		id:        intern.ID(req.ACID),
+		addr:      intern.ID(req.ACAddr),
+		pubDER:    intern.DER(entry.PubDER),
 		pub:       pub,
 		lastSeen:  c.clk.Now(),
 		isChildAC: true,

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mykil/internal/crypt"
+	"mykil/internal/intern"
 	"mykil/internal/keytree"
 	"mykil/internal/obs"
 	"mykil/internal/ticket"
@@ -116,9 +117,9 @@ func (c *Controller) processJoinToAC(p *parkedJoin) {
 		return
 	}
 	entry := &memberEntry{
-		id:         msg.ClientID,
-		addr:       msg.ClientAddr,
-		pubDER:     sess.clientDER,
+		id:         intern.ID(msg.ClientID),
+		addr:       intern.ID(msg.ClientAddr),
+		pubDER:     intern.DER(sess.clientDER),
 		pub:        sess.clientPub,
 		lastSeen:   now,
 		ticketBlob: tkBlob,
@@ -408,9 +409,9 @@ func (c *Controller) admitRejoin(sess *rejoinSession) {
 		return
 	}
 	entry := &memberEntry{
-		id:         sess.clientID,
-		addr:       sess.clientAddr,
-		pubDER:     sess.clientDER,
+		id:         intern.ID(sess.clientID),
+		addr:       intern.ID(sess.clientAddr),
+		pubDER:     intern.DER(sess.clientDER),
 		pub:        sess.clientPub,
 		lastSeen:   now,
 		ticketBlob: tkBlob,

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"mykil/internal/crypt"
+	"mykil/internal/intern"
 	"mykil/internal/journal"
 	"mykil/internal/keytree"
 	"mykil/internal/wire/codec"
@@ -318,9 +319,9 @@ func (c *Controller) replayRecord(p []byte) error {
 		now := c.clk.Now()
 		for i := 0; i < n; i++ {
 			e := &memberEntry{
-				id:         r.String(),
-				addr:       r.String(),
-				pubDER:     r.Bytes(),
+				id:         intern.ID(r.String()),
+				addr:       intern.ID(r.String()),
+				pubDER:     intern.DER(r.Bytes()),
 				ticketBlob: r.Bytes(),
 				isChildAC:  r.Bool(),
 				lastSeen:   now,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mykil/internal/crypt"
+	"mykil/internal/intern"
 	"mykil/internal/keytree"
 	"mykil/internal/wire"
 	"mykil/internal/wire/codec"
@@ -227,10 +228,10 @@ func NewFromState(cfg Config, st *State) (*Controller, error) {
 			c.Close()
 			return nil, fmt.Errorf("area: member %s key: %w", m.ID, err)
 		}
-		c.members[m.ID] = &memberEntry{
-			id:         m.ID,
-			addr:       m.Addr,
-			pubDER:     m.PubDER,
+		c.members[intern.ID(m.ID)] = &memberEntry{
+			id:         intern.ID(m.ID),
+			addr:       intern.ID(m.Addr),
+			pubDER:     intern.DER(m.PubDER),
 			pub:        pub,
 			lastSeen:   now,
 			ticketBlob: m.TicketBlob,

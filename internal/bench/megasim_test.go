@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMegaSimSmoke runs E14's full stack — registration server,
+// controller tree, members, sharded simnet — at toy scale and checks
+// the measured shape against the §V-A/§IV-A closed forms. Everything
+// inside the run is virtual time; only the clock pump consumes wall
+// time, so the test stays CI-sized.
+func TestMegaSimSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mega-sim smoke skipped in -short mode")
+	}
+	r, err := MegaSim(MegaSimConfig{
+		Members: 240,
+		Areas:   2,
+		Joiners: 24,
+		Seed:    1,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("MegaSim: %v", err)
+	}
+	if r.Joined != 240 {
+		t.Fatalf("joined %d of 240 members", r.Joined)
+	}
+	if !r.ShapeHolds() {
+		t.Errorf("measured shape diverges from the analytic model:\n"+
+			"  member keys %d vs %d analytic\n"+
+			"  ctrl nodes %d vs %d analytic\n"+
+			"  alive %.2f vs %.2f analytic frames/member/min\n"+
+			"  fanout %v (bound %v)",
+			r.MemberKeysMeasured, r.MemberKeysAnalytic,
+			r.CtrlNodesMeasured, r.CtrlNodesAnalytic,
+			r.MsgsPerMin, r.AliveAnalytic,
+			r.RekeyFanout, 3*megaRekeyTick)
+	}
+	if r.DroppedMsgs != 0 {
+		t.Errorf("network dropped %d of %d frames; inboxes or rate limits undersized", r.DroppedMsgs, r.TotalMsgs)
+	}
+	if r.VirtualTime <= 0 {
+		t.Errorf("virtual clock never advanced (got %v)", r.VirtualTime)
+	}
+}
+
+// TestMegaSimDeterministic exercises the single-lane virtual scheduler:
+// strict timestamp-order delivery instead of sharded lanes. Same
+// acceptance as the sharded smoke, at a smaller scale.
+func TestMegaSimDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mega-sim smoke skipped in -short mode")
+	}
+	r, err := MegaSim(MegaSimConfig{
+		Members:       120,
+		Areas:         1,
+		Joiners:       12,
+		Deterministic: true,
+		Seed:          1,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("MegaSim: %v", err)
+	}
+	if r.Joined != 120 {
+		t.Fatalf("joined %d of 120 members", r.Joined)
+	}
+	if !r.ShapeHolds() {
+		t.Errorf("deterministic run diverges from the analytic model: "+
+			"member keys %d/%d, ctrl nodes %d/%d, alive %.2f/%.2f, fanout %v",
+			r.MemberKeysMeasured, r.MemberKeysAnalytic,
+			r.CtrlNodesMeasured, r.CtrlNodesAnalytic,
+			r.MsgsPerMin, r.AliveAnalytic, r.RekeyFanout)
+	}
+	if r.RekeyFanout <= 0 || r.RekeyFanout > time.Second {
+		t.Errorf("rekey fan-out %v outside (0, 1s]", r.RekeyFanout)
+	}
+}

@@ -5,6 +5,7 @@
 package clock
 
 import (
+	"container/heap"
 	"sync"
 	"time"
 )
@@ -52,14 +53,21 @@ type realTicker struct{ t *time.Ticker }
 func (rt realTicker) C() <-chan time.Time { return rt.t.C }
 func (rt realTicker) Stop()               { rt.t.Stop() }
 
-// Fake is a manually advanced Clock for deterministic tests. Timers fire
-// synchronously inside Advance, in timestamp order. The zero value is not
-// usable; construct with NewFake.
+// Fake is a manually advanced Clock for deterministic tests and
+// simulations. Timers fire synchronously inside Advance, in timestamp
+// order, ties broken by creation order. The zero value is not usable;
+// construct with NewFake.
+//
+// Waiters live in a min-heap keyed by (deadline, id), so Advance costs
+// O(F log W) for F firings over W outstanding waiters. The mega-sim
+// harness parks 100k+ member tickers on one Fake; the previous flat-slice
+// scan was quadratic in the firing count and dominated whole runs.
 type Fake struct {
 	mu      sync.Mutex
 	now     time.Time
-	waiters []*fakeWaiter
+	waiters waiterHeap
 	nextID  int64
+	pending int // live (not stopped, not yet fired one-shot) waiters
 }
 
 var _ Clock = (*Fake)(nil)
@@ -70,6 +78,30 @@ type fakeWaiter struct {
 	period   time.Duration // zero for one-shot After
 	ch       chan time.Time
 	stopped  bool
+}
+
+// waiterHeap is a min-heap of waiters by (deadline, id). Stopped waiters
+// are removed lazily when they surface at the top.
+type waiterHeap []*fakeWaiter
+
+var _ heap.Interface = (*waiterHeap)(nil)
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].id < h[j].id
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*fakeWaiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return item
 }
 
 // NewFake returns a Fake clock starting at start.
@@ -95,7 +127,8 @@ func (f *Fake) After(d time.Duration) <-chan time.Time {
 		ch:       make(chan time.Time, 1),
 	}
 	f.nextID++
-	f.waiters = append(f.waiters, w)
+	f.pending++
+	heap.Push(&f.waiters, w)
 	return w.ch
 }
 
@@ -113,7 +146,8 @@ func (f *Fake) NewTicker(d time.Duration) Ticker {
 		ch:       make(chan time.Time, 1),
 	}
 	f.nextID++
-	f.waiters = append(f.waiters, w)
+	f.pending++
+	heap.Push(&f.waiters, w)
 	return &fakeTicker{clk: f, w: w}
 }
 
@@ -124,13 +158,19 @@ func (f *Fake) Sleep(d time.Duration) {
 }
 
 // Advance moves the clock forward by d, firing every timer and ticker whose
-// deadline falls within the window, in deadline order.
+// deadline falls within the window, in deadline order (ties by creation
+// order). Sends are non-blocking: a waiter that has not drained its
+// previous tick drops the new one, like time.Ticker.
 func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
 	target := f.now.Add(d)
-	for {
-		w := f.earliestDue(target)
-		if w == nil {
+	for f.waiters.Len() > 0 {
+		w := f.waiters[0]
+		if w.stopped {
+			heap.Pop(&f.waiters)
+			continue
+		}
+		if w.deadline.After(target) {
 			break
 		}
 		f.now = w.deadline
@@ -140,38 +180,29 @@ func (f *Fake) Advance(d time.Duration) {
 		}
 		if w.period > 0 {
 			w.deadline = w.deadline.Add(w.period)
+			heap.Fix(&f.waiters, 0)
 		} else {
-			f.removeWaiter(w.id)
+			heap.Pop(&f.waiters)
+			f.pending--
 		}
 	}
 	f.now = target
 	f.mu.Unlock()
 }
 
-// earliestDue returns the live waiter with the earliest deadline <= target,
-// breaking ties by creation order. Caller holds f.mu.
-func (f *Fake) earliestDue(target time.Time) *fakeWaiter {
-	var best *fakeWaiter
-	for _, w := range f.waiters {
-		if w.stopped || w.deadline.After(target) {
-			continue
-		}
-		if best == nil || w.deadline.Before(best.deadline) ||
-			(w.deadline.Equal(best.deadline) && w.id < best.id) {
-			best = w
-		}
+// NextDeadline reports the earliest outstanding timer/ticker deadline.
+// Event-driven drivers use it to advance straight to the next firing
+// instead of sweeping time forward in blind steps.
+func (f *Fake) NextDeadline() (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.waiters) > 0 && f.waiters[0].stopped {
+		heap.Pop(&f.waiters)
 	}
-	return best
-}
-
-// removeWaiter deletes the waiter with the given id. Caller holds f.mu.
-func (f *Fake) removeWaiter(id int64) {
-	for i, w := range f.waiters {
-		if w.id == id {
-			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
-			return
-		}
+	if len(f.waiters) == 0 {
+		return time.Time{}, false
 	}
+	return f.waiters[0].deadline, true
 }
 
 // PendingWaiters reports how many timers/tickers are outstanding; useful in
@@ -179,25 +210,23 @@ func (f *Fake) removeWaiter(id int64) {
 func (f *Fake) PendingWaiters() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := 0
-	for _, w := range f.waiters {
-		if !w.stopped {
-			n++
-		}
-	}
-	return n
+	return f.pending
 }
 
 type fakeTicker struct {
-	clk *Fake
-	w   *fakeWaiter
+	clk  *Fake
+	w    *fakeWaiter
+	once sync.Once
 }
 
 func (ft *fakeTicker) C() <-chan time.Time { return ft.w.ch }
 
+// Stop marks the waiter dead; the heap drops it lazily when it surfaces.
 func (ft *fakeTicker) Stop() {
-	ft.clk.mu.Lock()
-	ft.w.stopped = true
-	ft.clk.removeWaiter(ft.w.id)
-	ft.clk.mu.Unlock()
+	ft.once.Do(func() {
+		ft.clk.mu.Lock()
+		ft.w.stopped = true
+		ft.clk.pending--
+		ft.clk.mu.Unlock()
+	})
 }

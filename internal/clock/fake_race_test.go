@@ -1,0 +1,141 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFakeAdvanceOrderingContract pins the contract the mega-sim scheduler
+// relies on: Advance fires every due waiter synchronously, in timestamp
+// order, and each firing carries the waiter's own deadline (the clock
+// steps through the timeline rather than jumping straight to the target).
+func TestFakeAdvanceOrderingContract(t *testing.T) {
+	f := NewFake(epoch)
+
+	// Register out of deadline order on purpose.
+	at30 := f.After(30 * time.Second)
+	tick7 := f.NewTicker(7 * time.Second)
+	defer tick7.Stop()
+	at5 := f.After(5 * time.Second)
+
+	f.Advance(30 * time.Second)
+
+	if got := <-at5; !got.Equal(epoch.Add(5 * time.Second)) {
+		t.Errorf("After(5s) stamped %v, want %v", got, epoch.Add(5*time.Second))
+	}
+	if got := <-at30; !got.Equal(epoch.Add(30 * time.Second)) {
+		t.Errorf("After(30s) stamped %v, want %v", got, epoch.Add(30*time.Second))
+	}
+	// The ticker's channel holds exactly one tick (capacity one, later
+	// firings dropped) and it is the first one: ticks are offered in
+	// timeline order, not retroactively from the target time.
+	if got := <-tick7.C(); !got.Equal(epoch.Add(7 * time.Second)) {
+		t.Errorf("first tick stamped %v, want %v", got, epoch.Add(7*time.Second))
+	}
+	if f.PendingWaiters() != 1 { // only the ticker remains armed
+		t.Errorf("PendingWaiters = %d, want 1", f.PendingWaiters())
+	}
+}
+
+// TestFakeAdvanceTieBreakByCreation pins the tie rule: waiters sharing a
+// deadline fire oldest first. Observed through a ticker and a one-shot
+// racing for the same instant where the one-shot was created first: both
+// must be stamped with that instant regardless, and both must fire.
+func TestFakeAdvanceTieBreakByCreation(t *testing.T) {
+	f := NewFake(epoch)
+	a := f.After(10 * time.Second)
+	tk := f.NewTicker(10 * time.Second)
+	defer tk.Stop()
+	f.Advance(10 * time.Second)
+	want := epoch.Add(10 * time.Second)
+	if got := <-a; !got.Equal(want) {
+		t.Errorf("After stamped %v, want %v", got, want)
+	}
+	if got := <-tk.C(); !got.Equal(want) {
+		t.Errorf("ticker stamped %v, want %v", got, want)
+	}
+}
+
+// TestFakeConcurrentAdvanceVsTickers hammers Advance from one goroutine
+// while others create, consume, and stop tickers — the exact interleaving
+// a mega-sim run produces with 100k member alive loops parked on one Fake.
+// Run under -race; it also asserts per-ticker timestamps stay strictly
+// increasing and that Stop retires every waiter.
+func TestFakeConcurrentAdvanceVsTickers(t *testing.T) {
+	f := NewFake(epoch)
+	const workers = 8
+	const perWorker = 50
+
+	stop := make(chan struct{})
+	var advWG sync.WaitGroup
+	advWG.Add(1)
+	go func() {
+		defer advWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Advance(time.Second)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tk := f.NewTicker(time.Duration(1+(w+i)%5) * time.Second)
+				var last time.Time
+				for ticks := 0; ticks < 3; {
+					select {
+					case ts := <-tk.C():
+						if !last.IsZero() && !ts.After(last) {
+							t.Errorf("worker %d: tick %v not after %v", w, ts, last)
+							tk.Stop()
+							return
+						}
+						last = ts
+						ticks++
+					case <-time.After(5 * time.Second):
+						t.Errorf("worker %d: ticker starved", w)
+						tk.Stop()
+						return
+					}
+				}
+				tk.Stop()
+				tk.Stop() // double Stop must be safe
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	advWG.Wait()
+
+	if got := f.PendingWaiters(); got != 0 {
+		t.Errorf("PendingWaiters = %d after all tickers stopped", got)
+	}
+}
+
+// TestFakeManyWaitersAdvance guards the heap rewrite's scaling: driving
+// 50k concurrent tickers through several periods must stay well under the
+// test timeout (the old flat-slice scan was quadratic and took minutes).
+func TestFakeManyWaitersAdvance(t *testing.T) {
+	f := NewFake(epoch)
+	const n = 50_000
+	tickers := make([]Ticker, n)
+	for i := range tickers {
+		tickers[i] = f.NewTicker(time.Duration(1+i%10) * time.Second)
+	}
+	f.Advance(30 * time.Second)
+	for _, tk := range tickers {
+		tk.Stop()
+	}
+	f.Advance(time.Minute) // drains the stopped waiters lazily
+	if got := f.PendingWaiters(); got != 0 {
+		t.Errorf("PendingWaiters = %d, want 0", got)
+	}
+}

@@ -91,6 +91,12 @@ type Config struct {
 	// SegmentBytes overrides the journal segment rotation threshold;
 	// zero means the journal default.
 	SegmentBytes int64
+	// KeyPool, if set, supplies every principal's key pair from a shared
+	// deterministic pool instead of per-principal keygen. SIMULATION AND
+	// TEST ONLY: pool keys are shared and reproducible (crypt.NewKeyPool),
+	// which destroys all security properties but makes 10^5-member runs
+	// affordable. Production deployments must leave this nil.
+	KeyPool *crypt.KeyPool
 	// Observer, if set, receives structured protocol trace events from
 	// every component (handshake steps, rekeys, alive rounds,
 	// re-parenting, journal recovery). See internal/obs.
@@ -111,7 +117,7 @@ type Group struct {
 	controllers []*area.Controller
 	ctrlInfo    []wire.ACInfo
 	backups     []*replica.Backup
-	pool        *crypt.Pool
+	pool        keySource
 	rsKeys      *crypt.KeyPair
 	kShared     crypt.SymKey
 	metrics     *obs.Registry
@@ -128,6 +134,21 @@ type Group struct {
 	transports []transport.Transport
 	closed     bool
 }
+
+// keySource is where the deployment draws principal key pairs from:
+// crypt.Pool (fresh keygen, the default) or a shared deterministic
+// crypt.KeyPool opted into with WithTestKeyPool.
+type keySource interface {
+	Warm(n int) error
+	Get() (*crypt.KeyPair, error)
+}
+
+// sharedKeySource adapts crypt.KeyPool; Warm is a no-op because the
+// pool is fully generated at construction.
+type sharedKeySource struct{ p *crypt.KeyPool }
+
+func (s sharedKeySource) Warm(int) error               { return nil }
+func (s sharedKeySource) Get() (*crypt.KeyPair, error) { return s.p.Next(), nil }
 
 // ACAddr returns controller i's transport address.
 func ACAddr(i int) string { return fmt.Sprintf("ac-%d", i) }
@@ -168,10 +189,14 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	g := &Group{
 		Clock:   cfg.Clock,
 		cfg:     cfg,
-		pool:    crypt.NewPool(cfg.RSABits),
 		kShared: crypt.NewSymKey(),
 		members: make(map[string]*member.Member),
 		metrics: obs.NewRegistry(),
+	}
+	if cfg.KeyPool != nil {
+		g.pool = sharedKeySource{cfg.KeyPool}
+	} else {
+		g.pool = crypt.NewPool(cfg.RSABits)
 	}
 	g.trace = obs.NewTracer("core", cfg.Clock, cfg.Observer)
 	if cfg.NewTransport == nil {
@@ -659,6 +684,20 @@ func (g *Group) DropSummary() []string {
 			simnet.StatDroppedClosed,
 		} {
 			out = append(out, fmt.Sprintf("net %s=%d", name, st.Value(name)))
+		}
+		// Per-lane breakdown: queued depth plus each lane's share of the
+		// drops, so a hot or lossy delivery lane is visible at shutdown.
+		for i := 0; i < g.Net.NumShards(); i++ {
+			var dropped int64
+			for _, name := range []string{
+				simnet.StatDroppedPartition, simnet.StatDroppedCrashed,
+				simnet.StatDroppedRate, simnet.StatDroppedOverflow,
+				simnet.StatDroppedClosed,
+			} {
+				dropped += st.Value(fmt.Sprintf("%s.shard%02d", name, i))
+			}
+			out = append(out, fmt.Sprintf("net sim.shard%02d depth=%d dropped=%d",
+				i, st.Value(fmt.Sprintf("sim.shard%02d.depth", i)), dropped))
 		}
 	}
 	return out

@@ -5,6 +5,7 @@ import (
 
 	"mykil/internal/area"
 	"mykil/internal/clock"
+	"mykil/internal/crypt"
 	"mykil/internal/obs"
 	"mykil/internal/simnet"
 	"mykil/internal/transport"
@@ -111,6 +112,12 @@ func WithJournal(dir, fsyncPolicy string) Option {
 
 // WithSegmentBytes overrides the journal segment rotation threshold.
 func WithSegmentBytes(n int64) Option { return func(c *Config) { c.SegmentBytes = n } }
+
+// WithTestKeyPool draws every principal's key pair from a shared
+// deterministic pool instead of fresh keygen. SIMULATION AND TEST
+// ONLY — see Config.KeyPool and crypt.NewKeyPool for the security
+// caveats; calling this is the explicit opt-in.
+func WithTestKeyPool(p *crypt.KeyPool) Option { return func(c *Config) { c.KeyPool = p } }
 
 // WithObserver installs the sink receiving structured protocol trace
 // events from every component. See internal/obs.

@@ -1,0 +1,165 @@
+package crypt
+
+import (
+	"crypto/rsa"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// KeyPool hands out a FIXED set of deterministically generated RSA key
+// pairs, round-robin, to many principals at once. It exists for one
+// purpose: simulations and tests that stand up 10^5 principals cannot
+// afford 10^5 RSA key generations, and the paper's storage/traffic
+// numbers do not depend on key distinctness. A 100k-member mega-sim boot
+// with a 64-key pool performs 64 generations instead of 100,000.
+//
+// THIS PROVIDES NO SECURITY WHATSOEVER and must never reach production
+// paths: keys are SHARED between principals (anyone holding pool key i
+// can decrypt for every other principal assigned key i) and generated
+// from a seeded PRNG, so anyone knowing the seed can reproduce every
+// private key. Construction is the explicit opt-in; nothing in the stack
+// reaches for a KeyPool by default.
+//
+// Determinism is real, not best-effort: rsa.GenerateKey deliberately
+// de-randomizes its consumption of the entropy reader, so the pool runs
+// its own textbook prime search over a seeded stream. The same (n, bits,
+// seed) always yields byte-identical keys, which keeps seeded mega-sim
+// runs reproducible end to end.
+type KeyPool struct {
+	keys []*KeyPair
+	bits int
+	next atomic.Uint64
+}
+
+// NewKeyPool deterministically generates n shared key pairs of the given
+// modulus size from seed. Generation fans out across CPUs; determinism is
+// per-index, so parallelism does not perturb the result.
+func NewKeyPool(n, bits int, seed int64) (*KeyPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("crypt: key pool size must be positive, got %d", n)
+	}
+	if bits < 256 {
+		return nil, fmt.Errorf("crypt: key pool modulus %d too small for OAEP framing", bits)
+	}
+	p := &KeyPool{keys: make([]*KeyPair, n), bits: bits}
+	var (
+		wg       sync.WaitGroup
+		idx      atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Each index gets its own seeded stream so assignment of
+				// indices to workers cannot affect the generated keys.
+				kp, err := deterministicKeyPair(bits, mrand.New(mrand.NewSource(seed^int64(i)*0x5851F42D4C957F2D)))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				p.keys[i] = kp
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return p, nil
+}
+
+// Next returns the next key pair in round-robin order. The SAME pair is
+// handed to every len(pool)-th caller; see the type comment.
+func (p *KeyPool) Next() *KeyPair {
+	return p.keys[int(p.next.Add(1)-1)%len(p.keys)]
+}
+
+// At returns pool key i (mod pool size), for callers that want a stable
+// principal→key mapping independent of call order.
+func (p *KeyPool) At(i int) *KeyPair {
+	return p.keys[((i%len(p.keys))+len(p.keys))%len(p.keys)]
+}
+
+// Size reports the number of distinct pairs in the pool.
+func (p *KeyPool) Size() int { return len(p.keys) }
+
+// Bits returns the modulus size of the pooled keys.
+func (p *KeyPool) Bits() int { return p.bits }
+
+var bigOne = big.NewInt(1)
+
+// deterministicKeyPair builds an RSA key pair from a seeded stream: two
+// probable primes, e = 65537, CRT precomputation. Test/sim quality only —
+// no strong-prime screening, Miller-Rabin rounds sized for test keys.
+func deterministicKeyPair(bits int, rnd *mrand.Rand) (*KeyPair, error) {
+	e := big.NewInt(65537)
+	for attempts := 0; attempts < 1000; attempts++ {
+		p := deterministicPrime(bits/2, rnd)
+		q := deterministicPrime(bits-bits/2, rnd)
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, bigOne), new(big.Int).Sub(q, bigOne))
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e shares a factor with phi; redraw
+		}
+		priv := &rsa.PrivateKey{
+			PublicKey: rsa.PublicKey{N: n, E: int(e.Int64())},
+			D:         d,
+			Primes:    []*big.Int{p, q},
+		}
+		priv.Precompute()
+		if err := priv.Validate(); err != nil {
+			continue
+		}
+		return &KeyPair{priv: priv}, nil
+	}
+	return nil, fmt.Errorf("crypt: deterministic %d-bit keygen did not converge", bits)
+}
+
+// deterministicPrime draws candidates of exactly the given bit length from
+// the stream until one passes Miller-Rabin.
+func deterministicPrime(bits int, rnd *mrand.Rand) *big.Int {
+	b := make([]byte, (bits+7)/8)
+	top := uint(bits % 8)
+	if top == 0 {
+		top = 8
+	}
+	for {
+		rnd.Read(b)
+		b[0] &= byte(1<<top) - 1
+		// Force the top two bits so p*q reaches the full modulus length,
+		// and the low bit so the candidate is odd.
+		if top >= 2 {
+			b[0] |= 3 << (top - 2)
+		} else {
+			b[0] |= 1
+			b[1] |= 0x80
+		}
+		b[len(b)-1] |= 1
+		p := new(big.Int).SetBytes(b)
+		if p.ProbablyPrime(20) {
+			return p
+		}
+	}
+}

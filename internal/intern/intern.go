@@ -1,0 +1,161 @@
+// Package intern canonicalizes frequently repeated values — member IDs,
+// addresses, public-key DER blobs — so that the many maps and structs
+// holding them share one backing allocation instead of one copy per
+// holder. Every wire decode allocates a fresh string for each ID it
+// parses; an area controller tracking m members references each ID from
+// its member table, sequence table, session maps, and key tree, and at
+// mega-sim scale (10^5 members) those duplicate backings dominate
+// controller storage. Interning collapses them to one canonical copy.
+//
+// Interners only ever grow. That is the right trade for protocol
+// principals: the ID universe of a run is bounded by the principals the
+// scenario creates, and eviction bookkeeping would cost more than the
+// stale entries.
+package intern
+
+import "sync"
+
+// shardCount spreads lock contention across independent map shards;
+// power of two so the hash folds with a mask.
+const shardCount = 16
+
+// Strings is a concurrency-safe string interner. The zero value is not
+// usable; construct with NewStrings.
+type Strings struct {
+	shards [shardCount]stringShard
+}
+
+type stringShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewStrings returns an empty interner.
+func NewStrings() *Strings {
+	s := &Strings{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]string)
+	}
+	return s
+}
+
+// Get returns the canonical copy of v, storing v itself on first sight.
+func (s *Strings) Get(v string) string {
+	sh := &s.shards[fnv32(v)&(shardCount-1)]
+	sh.mu.RLock()
+	c, ok := sh.m[v]
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	if c, ok = sh.m[v]; !ok {
+		sh.m[v] = v
+		c = v
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Len reports how many distinct strings are interned.
+func (s *Strings) Len() int {
+	total := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		total += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// Bytes canonicalizes byte slices by content. Callers MUST treat returned
+// slices as immutable — they are shared across every holder. The zero
+// value is not usable; construct with NewBytes.
+type Bytes struct {
+	shards [shardCount]bytesShard
+}
+
+type bytesShard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewBytes returns an empty byte-slice interner.
+func NewBytes() *Bytes {
+	b := &Bytes{}
+	for i := range b.shards {
+		b.shards[i].m = make(map[string][]byte)
+	}
+	return b
+}
+
+// Get returns the canonical slice with v's content. The first caller's
+// slice becomes canonical; it must not be mutated afterwards.
+func (b *Bytes) Get(v []byte) []byte {
+	sh := &b.shards[fnv32b(v)&(shardCount-1)]
+	sh.mu.RLock()
+	c, ok := sh.m[string(v)] // no alloc: map lookup special-cases string(b)
+	sh.mu.RUnlock()
+	if ok {
+		return c
+	}
+	sh.mu.Lock()
+	if c, ok = sh.m[string(v)]; !ok {
+		sh.m[string(v)] = v
+		c = v
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Len reports how many distinct slices are interned.
+func (b *Bytes) Len() int {
+	total := 0
+	for i := range b.shards {
+		b.shards[i].mu.RLock()
+		total += len(b.shards[i].m)
+		b.shards[i].mu.RUnlock()
+	}
+	return total
+}
+
+// Process-wide default interners. Controllers, the registration server,
+// and replicas all see the same principal IDs and public-key blobs, so a
+// shared table dedupes across components, not just within one.
+var (
+	defaultStrings = NewStrings()
+	defaultBytes   = NewBytes()
+)
+
+// ID canonicalizes a principal or area identifier through the shared
+// process-wide table.
+func ID(v string) string { return defaultStrings.Get(v) }
+
+// DER canonicalizes an encoded public key (or similar immutable blob)
+// through the shared process-wide table. The result must not be mutated.
+func DER(v []byte) []byte {
+	if len(v) == 0 {
+		return v
+	}
+	return defaultBytes.Get(v)
+}
+
+// fnv32 is FNV-1a over a string; inlined here so the hot path needs no
+// hash.Hash allocation.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func fnv32b(b []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,62 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"unsafe"
+)
+
+func TestStringsCanonical(t *testing.T) {
+	s := NewStrings()
+	a := s.Get("member-42")
+	b := s.Get("mem" + "ber-42") // distinct backing, same content
+	if a != b {
+		t.Fatal("contents differ")
+	}
+	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("interner returned distinct backings for equal strings")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStringsConcurrent(t *testing.T) {
+	s := NewStrings()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := s.Get(fmt.Sprintf("id-%d", i%100))
+				if v == "" {
+					t.Error("empty canonical string")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 100 {
+		t.Errorf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestBytesCanonical(t *testing.T) {
+	b := NewBytes()
+	first := []byte{1, 2, 3}
+	second := []byte{1, 2, 3}
+	ca := b.Get(first)
+	cb := b.Get(second)
+	if &ca[0] != &cb[0] {
+		t.Error("interner returned distinct backings for equal slices")
+	}
+	if &ca[0] != &first[0] {
+		t.Error("first-seen slice did not become canonical")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}

@@ -83,6 +83,13 @@ func (n *node) isLeaf() bool     { return len(n.children) == 0 }
 func (n *node) occupied() bool   { return !n.detached && n.isLeaf() && n.member != "" }
 func (n *node) vacantLeaf() bool { return !n.detached && n.isLeaf() && n.member == "" }
 
+// nodeChunkSize is how many nodes one arena chunk holds. Chunked
+// allocation replaces one heap object per node with one per 512 nodes: a
+// 100k-member area tree allocates ~400 chunks instead of ~200k node
+// objects, cutting allocator overhead and improving locality for the
+// path walks every rekey performs.
+const nodeChunkSize = 512
+
 // Tree is the authoritative auxiliary-key tree an area controller (or the
 // LKH baseline's key server) maintains. Not safe for concurrent use; the
 // area controller serializes operations.
@@ -96,6 +103,11 @@ type Tree struct {
 	occupied *nodeHeap // occupied leaves, split candidates, shallowest first
 	maxDepth int
 	numNodes int
+	// chunks is the node arena. Nodes are never freed individually
+	// (pruned nodes stay detached in place — the prune path is an
+	// ablation flag, and stale heap entries may still reference them),
+	// so the arena only ever grows, one chunk at a time.
+	chunks [][]node
 }
 
 // New creates an empty tree.
@@ -124,11 +136,10 @@ func New(cfg Config) *Tree {
 }
 
 func (t *Tree) newNode(parent *node) *node {
-	n := &node{
-		id:     t.nextID,
-		key:    t.cfg.KeyGen(),
-		parent: parent,
-	}
+	n := t.allocNode()
+	n.id = t.nextID
+	n.key = t.cfg.KeyGen()
+	n.parent = parent
 	t.nextID++
 	t.numNodes++
 	if parent != nil {
@@ -138,6 +149,18 @@ func (t *Tree) newNode(parent *node) *node {
 		}
 	}
 	return n
+}
+
+// allocNode carves a zeroed node out of the arena, growing it by one
+// chunk when the current one is full. Returned pointers are stable: a
+// chunk's backing array is never reallocated once created.
+func (t *Tree) allocNode() *node {
+	if len(t.chunks) == 0 || len(t.chunks[len(t.chunks)-1]) == nodeChunkSize {
+		t.chunks = append(t.chunks, make([]node, 0, nodeChunkSize))
+	}
+	c := &t.chunks[len(t.chunks)-1]
+	*c = append(*c, node{})
+	return &(*c)[len(*c)-1]
 }
 
 // Arity returns the tree's fan-out.

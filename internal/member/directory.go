@@ -1,0 +1,63 @@
+package member
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"mykil/internal/intern"
+	"mykil/internal/wire"
+)
+
+// directoryCache canonicalizes the controller directory that every member
+// receives in its join grant. In a mega-sim run 10^5 members all learn the
+// same |ACs|-entry directory; without sharing, each holds a private copy
+// and the duplicates dominate member-side storage. The cache keys each
+// distinct directory version by content fingerprint and hands every member
+// the same backing slice. Callers must treat the returned slice and its
+// entries as immutable — Member.Directory already copies on read.
+type directoryCache struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte][]wire.ACInfo
+}
+
+var sharedDirectories = &directoryCache{m: make(map[[sha256.Size]byte][]wire.ACInfo)}
+
+// canonical returns the shared copy of dir, installing one on first sight.
+// The fingerprint covers every field with length framing, so two
+// directories collide only on identical content.
+func (dc *directoryCache) canonical(dir []wire.ACInfo) []wire.ACInfo {
+	if len(dir) == 0 {
+		return nil
+	}
+	h := sha256.New()
+	var lenBuf [4]byte
+	field := func(b []byte) {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	for i := range dir {
+		field([]byte(dir[i].ID))
+		field([]byte(dir[i].Addr))
+		field(dir[i].PubDER)
+	}
+	var fp [sha256.Size]byte
+	h.Sum(fp[:0])
+
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if c, ok := dc.m[fp]; ok {
+		return c
+	}
+	c := make([]wire.ACInfo, len(dir))
+	for i := range dir {
+		c[i] = wire.ACInfo{
+			ID:     intern.ID(dir[i].ID),
+			Addr:   intern.ID(dir[i].Addr),
+			PubDER: intern.DER(dir[i].PubDER),
+		}
+	}
+	dc.m[fp] = c
+	return c
+}

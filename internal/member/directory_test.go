@@ -1,0 +1,48 @@
+package member
+
+import (
+	"testing"
+
+	"mykil/internal/wire"
+)
+
+func TestSharedDirectoryCanonical(t *testing.T) {
+	dc := &directoryCache{m: make(map[[32]byte][]wire.ACInfo)}
+	a := []wire.ACInfo{
+		{ID: "ac-1", Addr: "addr-1", PubDER: []byte{1, 2, 3}},
+		{ID: "ac-2", Addr: "addr-2", PubDER: []byte{4, 5, 6}},
+	}
+	b := []wire.ACInfo{
+		{ID: "ac-1", Addr: "addr-1", PubDER: []byte{1, 2, 3}},
+		{ID: "ac-2", Addr: "addr-2", PubDER: []byte{4, 5, 6}},
+	}
+	ca, cb := dc.canonical(a), dc.canonical(b)
+	if &ca[0] != &cb[0] {
+		t.Error("equal directories got distinct backings")
+	}
+	// A different version must not collide with the first.
+	c := []wire.ACInfo{{ID: "ac-1", Addr: "addr-9", PubDER: []byte{1, 2, 3}}}
+	if cc := dc.canonical(c); len(cc) != 1 || cc[0].Addr != "addr-9" {
+		t.Error("distinct directory was conflated with cached one")
+	}
+	if len(dc.m) != 2 {
+		t.Errorf("cache holds %d versions, want 2", len(dc.m))
+	}
+}
+
+func TestSharedDirectoryFramingDistinguishesShiftedFields(t *testing.T) {
+	dc := &directoryCache{m: make(map[[32]byte][]wire.ACInfo)}
+	// Without length framing these two would hash identically.
+	a := dc.canonical([]wire.ACInfo{{ID: "ab", Addr: "c"}})
+	b := dc.canonical([]wire.ACInfo{{ID: "a", Addr: "bc"}})
+	if a[0].ID == b[0].ID {
+		t.Error("field boundaries were not framed into the fingerprint")
+	}
+}
+
+func TestSharedDirectoryEmpty(t *testing.T) {
+	dc := &directoryCache{m: make(map[[32]byte][]wire.ACInfo)}
+	if dc.canonical(nil) != nil {
+		t.Error("nil directory should stay nil")
+	}
+}

@@ -86,7 +86,7 @@ func (m *Member) handleJoinGrant(f *wire.Frame) {
 	m.op.acID = g.AC.ID
 	m.op.acPub = acPub
 	m.op.nonceCA = crypt.Nonce()
-	m.directory = append([]wire.ACInfo(nil), g.Directory...)
+	m.directory = sharedDirectories.canonical(g.Directory)
 
 	// Step 6: {Nonce_AC+2; Nonce_CA; MAC}_Pub_ac.
 	m.trace.Step(obs.ProtoJoin, m.cfg.ID, 6, "JoinToAC", obs.String("ac", g.AC.ID))
