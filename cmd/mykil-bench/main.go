@@ -10,7 +10,7 @@
 //	mykil-bench -exp joinlat -rsabits 2048 -latency 2ms -iters 5
 //
 // Experiments: storage cpu fig8 fig9 fig10 joinlat protocost rc4 batching
-// arity prune flush model fanout journal all. Add -csv for
+// arity prune flush model fanout journal election all. Add -csv for
 // machine-readable output.
 package main
 
@@ -29,7 +29,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|megasim|all (megasim only runs when named)")
+		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|election|megasim|all (megasim only runs when named)")
 		n       = flag.Int("n", bench.PaperGroupSize, "group size")
 		arity   = flag.Int("arity", bench.PaperArity, "auxiliary-key-tree arity (paper's byte arithmetic: 2)")
 		rsaBits = flag.Int("rsabits", 2048, "RSA modulus bits for the latency experiment")
@@ -226,6 +226,16 @@ func run() int {
 		}
 		printTable(r.Table())
 		verdict(r.RecoveryBeatsRejoin(), "journal restart cheaper than whole-area rejoin")
+		return nil
+	})
+
+	runExp("election", func() error {
+		r, err := bench.ElectionFailover(bench.ElectionConfig{})
+		if err != nil {
+			return err
+		}
+		printTable(r.Table())
+		verdict(r.SegmentCheaper(), "segment replication undercuts full snapshots")
 		return nil
 	})
 

@@ -5,8 +5,13 @@
 // reports per-member delivery and the measured join latencies.
 //
 // Usage: mykilnet [-areas N] [-members N] [-messages N] [-rsabits N]
-// [-churn N] [-metrics-addr HOST:PORT] [-trace FILE] [-linger D]
+// [-churn N] [-replicas N] [-split-at N] [-merge-at N]
+// [-metrics-addr HOST:PORT] [-trace FILE] [-linger D]
 // [-simnet [-shards N] [-latency D]]
+//
+// With -replicas each controller gets N election-capable replicas; with
+// -split-at / -merge-at the area map resizes itself as membership grows
+// and shrinks.
 //
 // With -simnet the group runs over the in-process simulated network
 // (sharded delivery lanes) instead of TCP; the shutdown summary then
@@ -21,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -56,6 +62,9 @@ func run() error {
 		jdir        = flag.String("journal-dir", "", "enable durable journaling under this directory; rerunning with the same directory restarts the group from its journals")
 		fsync       = flag.String("fsync", "always", "journal sync policy: always, interval, or never")
 		segBytes    = flag.Int64("segment-bytes", 0, "journal segment rotation threshold (0 = default)")
+		replicas    = flag.Int("replicas", 0, "replicas per controller running quorum leader election (0 = none)")
+		splitAt     = flag.Int("split-at", 0, "split an area once its live membership exceeds this watermark (0 = never)")
+		mergeAt     = flag.Int("merge-at", 0, "merge a non-root area into its parent once membership sinks under this watermark (0 = never)")
 		useSimnet   = flag.Bool("simnet", false, "run over the in-process simulated network instead of TCP")
 		shards      = flag.Int("shards", 0, "simnet delivery lanes (with -simnet; 0 = one per core)")
 		latency     = flag.Duration("latency", 2*time.Millisecond, "simnet one-way link latency (with -simnet)")
@@ -68,6 +77,8 @@ func run() error {
 		core.WithOpTimeout(time.Minute),
 		core.WithJournal(*jdir, *fsync),
 		core.WithSegmentBytes(*segBytes),
+		core.WithReplicas(*replicas),
+		core.WithAreaWatermarks(*splitAt, *mergeAt),
 	}
 	if *useSimnet {
 		opts = append(opts, core.WithNet(simnet.New(simnet.Config{
@@ -187,17 +198,31 @@ func run() error {
 	// rejoin latency histogram.
 	for c := 0; c < *churn; c++ {
 		for i, m := range members {
-			target := m.ControllerID()
+			// A rejoin target must be a controller the member learned —
+			// at registration or via a reassignment — and still alive:
+			// under dynamic watermarks the group view gains siblings the
+			// member never met and loses ones it still remembers.
+			live := make(map[string]bool)
 			for _, e := range g.Directory() {
-				if e.ID != target {
+				live[e.ID] = true
+			}
+			target := m.ControllerID()
+			for _, e := range m.Directory() {
+				if e.ID != target && live[e.ID] {
 					target = e.ID
 					break
 				}
 			}
-			if err := m.Leave(); err != nil {
+			// Under dynamic topology a watermark split or merge can have
+			// this member mid-auto-rejoin (AreaReassign); wait the
+			// operation out rather than treating the collision as fatal.
+			if err := retryBusy(func() error { return m.Leave() }); err != nil {
 				return fmt.Errorf("churn leave #%d: %w", i, err)
 			}
-			if err := m.Rejoin(target); err != nil {
+			if err := retryBusy(func() error { return m.Rejoin(target) }); err != nil {
+				if m.Connected() {
+					continue // a topology reassignment re-attached it first
+				}
 				return fmt.Errorf("churn rejoin #%d: %w", i, err)
 			}
 		}
@@ -231,4 +256,18 @@ func run() error {
 		fmt.Printf("  %s\n", line)
 	}
 	return nil
+}
+
+// retryBusy runs op, waiting out member.ErrBusy: a watermark split or
+// merge may hold the member's operation slot with an automatic
+// reassignment rejoin for a moment.
+func retryBusy(op func() error) error {
+	var err error
+	for attempt := 0; attempt < 100; attempt++ {
+		if err = op(); !errors.Is(err, member.ErrBusy) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return err
 }

@@ -19,6 +19,8 @@ var kindInventory = []string{
 	"ACAlive", "MemberAlive", "LeaveNotice", "PathRequest",
 	"AreaJoinReq", "AreaJoinAck", "AreaJoinDenied",
 	"ReplicaSync", "ReplicaHeartbeat", "ACFailover",
+	"Election", "ElectionOK", "Coordinator", "SegmentPull", "SegmentPush",
+	"AreaReassign",
 }
 
 // TestWireKindCensus pins the analyzer's view of the wire package to the

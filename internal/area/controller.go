@@ -86,8 +86,29 @@ type Config struct {
 	PreferredParents []string
 	// Parent, if set, is joined (as an area member) at startup.
 	Parent *PeerInfo
-	// Backup, if set, receives state syncs and heartbeats.
+	// Backup, if set, receives state syncs and heartbeats. It is the
+	// legacy single-replica spelling of Replicas; when Replicas is empty
+	// it becomes the sole entry.
 	Backup *PeerInfo
+	// Replicas lists the replica set: every entry receives heartbeats
+	// and journal segments (or, unjournaled, full state syncs). The
+	// FIRST entry is the announcer — the replica whose address and key
+	// are advertised to members in welcomes, and the one that vouches
+	// for an election winner's takeover notice.
+	Replicas []PeerInfo
+	// SplitAbove, when positive, fires OnSplit (once per crossing) when
+	// the membership exceeds it — the dynamic-topology high watermark.
+	SplitAbove int
+	// MergeBelow, when positive, fires OnMerge (once per crossing) when
+	// the membership sinks under it while non-empty.
+	MergeBelow int
+	// OnSplit receives the deterministic migration set (the upper half
+	// of the sorted member IDs, child ACs excluded) when SplitAbove is
+	// crossed. Called from its own goroutine, so it may call back into
+	// the controller (Prevouch on a sibling, Reassign here).
+	OnSplit func(migrate []string)
+	// OnMerge fires when MergeBelow is crossed; same goroutine contract.
+	OnMerge func()
 	// Batching enables §III-E aggregation of join/leave events.
 	Batching bool
 	// TreeArity sets the auxiliary-key tree fan-out (0 = paper's 4).
@@ -161,6 +182,14 @@ func (cfg *Config) fillDefaults() error {
 	}
 	if cfg.HeartbeatEvery == 0 {
 		cfg.HeartbeatEvery = cfg.TIdle
+	}
+	if len(cfg.Replicas) == 0 && cfg.Backup != nil {
+		cfg.Replicas = []PeerInfo{*cfg.Backup}
+	}
+	for _, r := range cfg.Replicas {
+		if r.ID == "" || r.Addr == "" || r.Pub.IsZero() {
+			return fmt.Errorf("area: replica %q needs ID, Addr, and Pub", r.ID)
+		}
 	}
 	if cfg.SnapshotEvery == 0 {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
@@ -260,6 +289,15 @@ type Controller struct {
 	backupDirty   bool
 	lastHeartbeat time.Time
 
+	// Dynamic topology: members vouched-for ahead of a migration rejoin
+	// (steps 4-5 skipped once), and the watermark edge latches. The merge
+	// latch starts fired: a controller born under the low watermark (a
+	// split sibling whose migrants are still in flight) must first climb
+	// to MergeBelow before a later dip can retire it.
+	prevouched map[string]bool
+	splitFired bool
+	mergeFired bool
+
 	// Durability: the seeded key generator active during a journaled
 	// rekey (live or replayed), and the snapshot cadence counter.
 	detKG         replayKeyGen
@@ -279,6 +317,8 @@ type Controller struct {
 	cDataForwarded *obs.Counter
 	cRejoinDenied  *obs.Counter
 	cVerifyReqs    *obs.Counter
+	cAreaSplits    *obs.Counter
+	cReplBytes     *obs.Counter
 	hRekeySeconds  *obs.Histogram
 
 	// Control plane: the event loop that owns all state above.
@@ -324,6 +364,8 @@ func New(cfg Config) (*Controller, error) {
 		rejoinSessions: make(map[string]*rejoinSession),
 		parkedStep6:    make(map[string]*parkedJoin),
 		seenSeq:        make(map[string]uint64),
+		prevouched:     make(map[string]bool),
+		mergeFired:     true,
 		metrics:        obs.NewRegistry(obs.L("node", cfg.ID)),
 	}
 	c.trace = obs.NewTracer(cfg.ID, cfg.Clock, cfg.Observer)
@@ -337,6 +379,8 @@ func New(cfg Config) (*Controller, error) {
 	c.cDataForwarded = c.metrics.Counter(StatDataForwarded, "Data frames forwarded to the parent area.")
 	c.cRejoinDenied = c.metrics.Counter(StatRejoinDenied, "Rejoins refused.")
 	c.cVerifyReqs = c.metrics.Counter(StatVerifyReqs, "Anti-cohort verification checks answered.")
+	c.cAreaSplits = c.metrics.Counter(obs.MetricAreaSplits, obs.HelpAreaSplits)
+	c.cReplBytes = c.metrics.Counter(obs.MetricReplBytes, obs.HelpReplBytes)
 	c.hRekeySeconds = c.metrics.Histogram(obs.MetricRekeySeconds, obs.HelpRekeySeconds, nil)
 	c.pool = node.NewPool(cfg.DataWorkers)
 	c.dp = node.NewPipeline(c.pool, 0, c.deliver)
@@ -513,6 +557,8 @@ func (c *Controller) handleFrame(f *wire.Frame) {
 		c.handleAreaJoinAck(f)
 	case wire.KindAreaJoinDenied:
 		c.handleAreaJoinDenied(f)
+	case wire.KindSegmentPull:
+		c.handleSegmentPull(f)
 	default:
 		c.cfg.Logf("%s: ignoring frame kind %v from %s", c.cfg.ID, f.Kind, f.From)
 	}
@@ -551,6 +597,9 @@ func (c *Controller) housekeeping() {
 
 	// §IV-C: replica heartbeat and state sync.
 	c.replicaHousekeeping(now)
+
+	// Dynamic topology: fire split/merge watermark callbacks.
+	c.topologyHousekeeping()
 }
 
 // send transmits a frame, logging failures; protocol recovery happens via

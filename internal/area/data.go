@@ -78,6 +78,7 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 	for _, p := range joins {
 		c.members[p.entry.id] = p.entry
 	}
+	c.armMergeLatch()
 
 	// Durability point: the mutation is journaled before any member sees
 	// its effects, so a crash from here on replays to this exact state.

@@ -100,6 +100,7 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 		lastSeen:  c.clk.Now(),
 		isChildAC: true,
 	}
+	c.armMergeLatch()
 	// tree.Join is Batch of one: journaled as a recBatch so replay takes
 	// the identical code path.
 	c.journalBatch(seed, []pendingAdmission{{entry: c.members[req.ACID]}}, nil)

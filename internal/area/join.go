@@ -287,10 +287,14 @@ func (c *Controller) handleRejoinResponse(f *wire.Frame) {
 
 	// §IV-B steps 4-5: verify with the previous controller, unless the
 	// ticket was issued by this controller itself, the previous
-	// controller is unknown, or verification is configured off (§V-D's
-	// faster option-2 variant).
+	// controller is unknown, the member was prevouched by a migration
+	// orchestrator (its old controller is removing it right now — a
+	// verify would race that removal), or verification is configured off
+	// (§V-D's faster option-2 variant).
 	prev, inDirectory := c.directoryByID(sess.tk.AreaController)
-	if c.cfg.SkipRejoinVerify || sess.tk.AreaController == c.cfg.ID || !inDirectory {
+	if c.cfg.SkipRejoinVerify || c.prevouched[sess.clientID] ||
+		sess.tk.AreaController == c.cfg.ID || !inDirectory {
+		delete(c.prevouched, sess.clientID)
 		c.admitRejoin(sess)
 		return
 	}

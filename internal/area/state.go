@@ -90,6 +90,23 @@ func (c *Controller) exportState() *State {
 // instead.
 func (c *Controller) BootState() *State { return c.exportState() }
 
+// BootMemberAddrs returns the member addresses before Start, while the
+// builder still owns the controller single-threadedly. An election
+// winner collects them for its Coordinator broadcast, so the advertised
+// backup can relay the failover announcement.
+func (c *Controller) BootMemberAddrs() []string {
+	addrs := make([]string, 0, len(c.members))
+	for _, e := range c.members {
+		addrs = append(addrs, e.addr)
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// BootEpoch returns the key-tree epoch before Start, under the same
+// single-threaded ownership contract as BootState.
+func (c *Controller) BootEpoch() uint64 { return c.tree.Epoch() }
+
 // stateFormatV1 is the leading version byte of the encoded State. The
 // same blob travels inside ReplicaSync frames and rests in journal
 // snapshots, so the format is pinned by golden bytes
@@ -293,17 +310,31 @@ func (c *Controller) AnnounceFailover() {
 // markBackupDirty schedules a state sync at the next replica tick.
 func (c *Controller) markBackupDirty() {
 	c.stateSeq++
-	if c.cfg.Backup != nil {
+	if len(c.cfg.Replicas) > 0 && c.cfg.Journal == nil {
+		// Journaled controllers replicate pull-based segments instead of
+		// pushing full snapshots; only the legacy path marks dirty.
 		c.backupDirty = true
 	}
 }
 
+// replicaPosition is the durability position heartbeats advertise: the
+// last journal LSN when journaled, the state sequence otherwise. A
+// replica pulls when the advertised position passes what it holds.
+func (c *Controller) replicaPosition() uint64 {
+	if c.cfg.Journal != nil {
+		return c.cfg.Journal.NextLSN() - 1
+	}
+	return c.stateSeq
+}
+
 // replicaHousekeeping ships heartbeats and, when dirty, state snapshots
-// to the backup (§IV-C: "Primary and backup servers are synchronized
+// to every replica (§IV-C: "Primary and backup servers are synchronized
 // during any key updates, and whenever there is a change in the
-// parent/child area controllers").
+// parent/child area controllers"). Journaled controllers never push
+// snapshots here: replicas notice the heartbeat position advancing and
+// pull the journal tail as SegmentPush frames instead.
 func (c *Controller) replicaHousekeeping(now time.Time) {
-	if c.cfg.Backup == nil {
+	if len(c.cfg.Replicas) == 0 {
 		return
 	}
 	if c.backupDirty {
@@ -314,34 +345,100 @@ func (c *Controller) replicaHousekeeping(now time.Time) {
 			c.cfg.Logf("%s: encoding replica state: %v", c.cfg.ID, err)
 			return
 		}
-		c.sendSealed(c.cfg.Backup.Addr, c.cfg.Backup.Pub, wire.KindReplicaSync, wire.ReplicaSync{
-			AreaID: c.cfg.AreaID,
-			Seq:    st.Seq,
-			State:  blob,
-		}, true)
+		for _, rep := range c.cfg.Replicas {
+			c.sendSealed(rep.Addr, rep.Pub, wire.KindReplicaSync, wire.ReplicaSync{
+				AreaID: c.cfg.AreaID,
+				Seq:    st.Seq,
+				State:  blob,
+			}, true)
+			c.cReplBytes.Add(int64(len(blob)))
+		}
 		c.lastSyncSeq = st.Seq
 	}
 	if now.Sub(c.lastHeartbeat) >= c.cfg.HeartbeatEvery {
 		c.lastHeartbeat = now
-		c.sendPlain(c.cfg.Backup.Addr, wire.KindReplicaHeartbeat, wire.ReplicaHeartbeat{
-			AreaID: c.cfg.AreaID,
-			Seq:    c.stateSeq,
-		}, true)
+		hb := wire.ReplicaHeartbeat{AreaID: c.cfg.AreaID, Seq: c.replicaPosition()}
+		for _, rep := range c.cfg.Replicas {
+			c.sendPlain(rep.Addr, wire.KindReplicaHeartbeat, hb, true)
+		}
 	}
 }
 
-// backupAddr returns the configured backup address or "".
+// replicaBySig finds the configured replica whose key signed the frame.
+func (c *Controller) replicaBySig(f *wire.Frame) (PeerInfo, bool) {
+	for _, rep := range c.cfg.Replicas {
+		if rep.Pub.Verify(f.Body, f.Sig) == nil {
+			return rep, true
+		}
+	}
+	return PeerInfo{}, false
+}
+
+// handleSegmentPull answers a replica's catch-up request: the journal
+// tail from the requested LSN (with a snapshot baseline when the tail
+// was compacted away), or — on an unjournaled controller — a full state
+// sync, which doubles as lost-sync repair.
+func (c *Controller) handleSegmentPull(f *wire.Frame) {
+	rep, ok := c.replicaBySig(f)
+	if !ok {
+		c.cfg.Logf("%s: segment pull from unrecognized replica %s", c.cfg.ID, f.From)
+		return
+	}
+	var req wire.SegmentPull
+	if err := wire.DecodePlain(f.Body, &req); err != nil {
+		return
+	}
+	if req.AreaID != "" && req.AreaID != c.cfg.AreaID {
+		return
+	}
+	if c.cfg.Journal == nil {
+		st := c.exportState()
+		blob, err := EncodeState(st)
+		if err != nil {
+			c.cfg.Logf("%s: encoding replica state: %v", c.cfg.ID, err)
+			return
+		}
+		c.sendSealed(f.From, rep.Pub, wire.KindReplicaSync, wire.ReplicaSync{
+			AreaID: c.cfg.AreaID,
+			Seq:    st.Seq,
+			State:  blob,
+		}, true)
+		c.cReplBytes.Add(int64(len(blob)))
+		return
+	}
+	ex, err := c.cfg.Journal.ExportFrom(req.FromLSN)
+	if err != nil {
+		c.cfg.Logf("%s: exporting journal from LSN %d: %v", c.cfg.ID, req.FromLSN, err)
+		return
+	}
+	c.sendSealed(f.From, rep.Pub, wire.KindSegmentPush, wire.SegmentPush{
+		AreaID:         c.cfg.AreaID,
+		FromLSN:        ex.FromLSN,
+		NextLSN:        ex.NextLSN,
+		SnapshotLSN:    ex.SnapshotLSN,
+		Snapshot:       ex.Snapshot,
+		Records:        ex.Records,
+		HeartbeatEvery: c.cfg.HeartbeatEvery,
+	}, true)
+	n := len(ex.Snapshot)
+	for _, r := range ex.Records {
+		n += len(r)
+	}
+	c.cReplBytes.Add(int64(n))
+}
+
+// backupAddr returns the advertised replica's address or "".
 func (c *Controller) backupAddr() string {
-	if c.cfg.Backup == nil {
+	if len(c.cfg.Replicas) == 0 {
 		return ""
 	}
-	return c.cfg.Backup.Addr
+	return c.cfg.Replicas[0].Addr
 }
 
-// backupPubDER returns the configured backup public key or nil.
+// backupPubDER returns the advertised replica's public key or nil.
 func (c *Controller) backupPubDER() []byte {
-	if c.cfg.Backup == nil {
+	if len(c.cfg.Replicas) == 0 {
 		return nil
 	}
-	return c.cfg.Backup.Pub.Marshal()
+	return c.cfg.Replicas[0].Pub.Marshal()
 }

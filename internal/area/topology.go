@@ -1,0 +1,183 @@
+package area
+
+import (
+	"sort"
+
+	"mykil/internal/obs"
+	"mykil/internal/wire"
+)
+
+// This file is the dynamic-topology layer: watermark-triggered area
+// split and merge. The paper fixes the area map at deployment time; here
+// a controller crossing its high watermark sheds the upper half of its
+// sorted membership to a freshly spawned sibling, and one sinking under
+// the low watermark folds its members into a survivor. Members move via
+// the existing rejoin machinery — the old controller signs an
+// AreaReassign pointing at the target, the member rejoins there with its
+// ticket, and the target skips the §IV-B verify steps because the old
+// controller prevouched the migration set. Both sides rekey: the source
+// when the batch of leaves flushes, the target as the rejoins land, so
+// migrated members decrypt post-split updates and stragglers cannot.
+
+// topologyHousekeeping fires the split/merge callbacks on watermark
+// crossings. Each watermark latches until the membership recrosses it,
+// so a slow orchestration is not re-triggered every tick. Runs on the
+// loop.
+func (c *Controller) topologyHousekeeping() {
+	n := c.tree.NumMembers()
+	if c.cfg.SplitAbove > 0 && c.cfg.OnSplit != nil {
+		if n > c.cfg.SplitAbove && !c.splitFired {
+			c.splitFired = true
+			ids := c.splitCandidates()
+			c.trace.Event(obs.ProtoSplit, c.cfg.AreaID, "watermark-high",
+				obs.Int("members", int64(n)), obs.Int("migrate", int64(len(ids))))
+			go c.cfg.OnSplit(ids)
+		} else if n <= c.cfg.SplitAbove {
+			c.splitFired = false
+		}
+	}
+	if c.cfg.MergeBelow > 0 && c.cfg.OnMerge != nil {
+		if n > 0 && n < c.cfg.MergeBelow && !c.mergeFired {
+			c.mergeFired = true
+			c.trace.Event(obs.ProtoSplit, c.cfg.AreaID, "watermark-low",
+				obs.Int("members", int64(n)))
+			go c.cfg.OnMerge()
+		} else if n >= c.cfg.MergeBelow {
+			c.mergeFired = false
+		}
+	}
+}
+
+// armMergeLatch re-arms the merge watermark once membership has climbed
+// to it. Called from the membership mutation points (loop context), not
+// just the housekeeping sampler: a sibling that fills up and drains
+// again between two housekeeping ticks must still become merge-eligible.
+func (c *Controller) armMergeLatch() {
+	if c.cfg.MergeBelow > 0 && c.tree.NumMembers() >= c.cfg.MergeBelow {
+		c.mergeFired = false
+	}
+}
+
+// splitCandidates returns the deterministic migration set: the upper
+// half of the sorted member IDs. Child controllers and members already
+// queued to leave stay put — the partition must be reproducible from
+// membership alone, and child ACs anchor subtrees that do not move.
+func (c *Controller) splitCandidates() []string {
+	ids := c.migratableIDs()
+	return ids[len(ids)/2+len(ids)%2:]
+}
+
+// migratableIDs lists the sorted member IDs eligible to move areas.
+func (c *Controller) migratableIDs() []string {
+	ids := make([]string, 0, len(c.members))
+	for id, e := range c.members {
+		if e.isChildAC || e.lastSeen.IsZero() {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// MemberIDs reports the sorted IDs of the current members, child
+// controllers excluded — the set a merge orchestrator prevouches at the
+// surviving controller before draining this one.
+func (c *Controller) MemberIDs() []string {
+	var ids []string
+	_ = c.call(func() { ids = c.migratableIDs() })
+	return ids
+}
+
+// Prevouch marks member IDs whose next rejoin skips the §IV-B steps 4-5
+// verification once. A migration orchestrator calls it on the TARGET
+// controller before the source reassigns: the source is about to remove
+// those members, so a verify round-trip would race the removal and
+// wrongly report them as still held (the cohort signal) or already gone.
+// The vouch stands in for that verification — the source's operator
+// asserts the move is legitimate.
+func (c *Controller) Prevouch(ids []string) {
+	_ = c.call(func() {
+		for _, id := range ids {
+			c.prevouched[id] = true
+		}
+	})
+}
+
+// UpsertDirectory installs or refreshes one controller entry in this
+// controller's directory view. A split must introduce the new sibling to
+// every controller that predates it, or the sibling's area-join toward
+// its parent would be refused as coming from an unknown controller. The
+// backing slice may be shared across controllers, so it is replaced,
+// never mutated in place.
+func (c *Controller) UpsertDirectory(info wire.ACInfo) {
+	c.enqueue(func() {
+		for i, e := range c.cfg.Directory {
+			if e.ID == info.ID {
+				nd := append([]wire.ACInfo(nil), c.cfg.Directory...)
+				nd[i] = info
+				c.cfg.Directory = nd
+				return
+			}
+		}
+		c.cfg.Directory = append(append([]wire.ACInfo(nil), c.cfg.Directory...), info)
+	})
+}
+
+// RemoveDirectory drops one controller entry — a merged-away sibling —
+// from this controller's directory view.
+func (c *Controller) RemoveDirectory(id string) {
+	c.enqueue(func() {
+		nd := make([]wire.ACInfo, 0, len(c.cfg.Directory))
+		for _, e := range c.cfg.Directory {
+			if e.ID != id {
+				nd = append(nd, e)
+			}
+		}
+		c.cfg.Directory = nd
+	})
+}
+
+// Reassign migrates the given members to the target controller: each
+// receives a signed AreaReassign naming the target, then all of them are
+// removed in one journaled batch rekey, so the remaining members roll to
+// an area key the migrants no longer hold. Reason is "split" or "merge"
+// (trace/metrics only). Unknown or child-AC IDs are skipped; the count
+// actually reassigned is returned.
+func (c *Controller) Reassign(ids []string, target PeerInfo, reason string) (int, error) {
+	var n int
+	err := c.call(func() { n = c.reassign(ids, target, reason) })
+	return n, err
+}
+
+// reassign implements Reassign on the loop.
+func (c *Controller) reassign(ids []string, target PeerInfo, reason string) int {
+	body := wire.AreaReassign{
+		AreaID:     c.cfg.AreaID,
+		TargetID:   target.ID,
+		TargetAddr: target.Addr,
+		TargetPub:  target.Pub.Marshal(),
+		Reason:     reason,
+	}
+	moved := make([]string, 0, len(ids))
+	for _, id := range ids {
+		e, ok := c.members[id]
+		if !ok || e.isChildAC || e.lastSeen.IsZero() {
+			continue
+		}
+		c.sendPlain(e.addr, wire.KindAreaReassign, body, true)
+		moved = append(moved, id)
+	}
+	if len(moved) == 0 {
+		return 0
+	}
+	// One immediate batch removal — journaled inside applyBatch — rather
+	// than the idle-batched leave path: the migrants were just told to
+	// go, and the survivors' rekey must not wait an interval.
+	c.applyBatch(nil, moved)
+	c.cAreaSplits.Inc()
+	c.trace.Event(obs.ProtoSplit, c.cfg.AreaID, "reassigned",
+		obs.String("reason", reason), obs.String("target", target.ID),
+		obs.Int("members", int64(len(moved))))
+	return len(moved)
+}

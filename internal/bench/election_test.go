@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestElectionFailoverSmoke runs E15 small: the quorum must elect
+// within the harness deadline every round, and segment shipping must
+// undercut full-snapshot replication. The membership is sized past the
+// crossover — snapshots cost O(n) per change, segments O(1) — which a
+// handful of members would not show.
+func TestElectionFailoverSmoke(t *testing.T) {
+	r, err := ElectionFailover(ElectionConfig{Rounds: 2, Members: 24, Churn: 6})
+	if err != nil {
+		t.Fatalf("ElectionFailover: %v", err)
+	}
+	if len(r.Latencies) != 2 {
+		t.Fatalf("got %d rounds, want 2", len(r.Latencies))
+	}
+	for i, l := range r.Latencies {
+		if l <= 0 {
+			t.Errorf("round %d latency %v, want > 0", i, l)
+		}
+	}
+	if !r.SegmentCheaper() {
+		t.Errorf("segment bytes %d not under snapshot bytes %d", r.SegmentBytes, r.SnapshotBytes)
+	}
+	if got := r.Table(); len(got.Rows) < 5 {
+		t.Errorf("table has %d rows, want >= 5", len(got.Rows))
+	}
+}

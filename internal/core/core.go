@@ -47,7 +47,24 @@ type Config struct {
 	// TreeArity sets auxiliary-key-tree fan-out (0 = paper's 4).
 	TreeArity int
 	// WithBackups gives every controller a §IV-C primary-backup replica.
+	// Equivalent to NumReplicas=1; kept for compatibility.
 	WithBackups bool
+	// NumReplicas gives every controller n replicas running quorum leader
+	// election over journal-segment replication (internal/replica). The
+	// first replica of each controller is the announcer whose key members
+	// learn at join; it relays the election winner's failover announcement.
+	// Zero with WithBackups set means 1.
+	NumReplicas int
+	// SplitAbove, when > 0, makes every controller shed the upper half of
+	// its sorted membership to a freshly spawned sibling once its live
+	// membership exceeds the watermark (dynamic area split). The group
+	// orchestrates the spawn, registers the sibling with the registration
+	// server, and migrates members via prevouched ticket rejoins.
+	SplitAbove int
+	// MergeBelow, when > 0, makes a controller whose live membership sinks
+	// under the watermark (but stays above zero) fold its members into its
+	// parent area and retire. The root controller never auto-merges.
+	MergeBelow int
 	// Policy selects rejoin behaviour under partition.
 	Policy area.PartitionPolicy
 	// SkipRejoinVerify omits rejoin steps 4-5 at every controller
@@ -156,8 +173,18 @@ func ACAddr(i int) string { return fmt.Sprintf("ac-%d", i) }
 // ACID returns controller i's identity.
 func ACID(i int) string { return ACAddr(i) }
 
-// BackupAddr returns controller i's backup address.
+// BackupAddr returns controller i's first replica address.
 func BackupAddr(i int) string { return fmt.Sprintf("backup-%d", i) }
+
+// ReplicaAddr returns the address of controller i's r-th replica. Replica
+// 0 keeps the historical "backup-i" name; later replicas append their
+// index.
+func ReplicaAddr(i, r int) string {
+	if r == 0 {
+		return BackupAddr(i)
+	}
+	return fmt.Sprintf("backup-%d-%d", i, r)
+}
 
 // RSAddr is the registration server's address.
 const RSAddr = "rs"
@@ -184,6 +211,12 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.NumReplicas == 0 && cfg.WithBackups {
+		cfg.NumReplicas = 1
+	}
+	if cfg.NumReplicas > 0 {
+		cfg.WithBackups = true
 	}
 
 	g := &Group{
@@ -214,10 +247,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	}
 
 	// Pre-generate every controller-side key pair in parallel.
-	nKeys := 1 + cfg.NumAreas
-	if cfg.WithBackups {
-		nKeys += cfg.NumAreas
-	}
+	nKeys := 1 + cfg.NumAreas + cfg.NumAreas*cfg.NumReplicas
 	if err := g.pool.Warm(nKeys); err != nil {
 		return nil, fmt.Errorf("core: warming key pool: %w", err)
 	}
@@ -237,13 +267,14 @@ func NewFromConfig(cfg Config) (*Group, error) {
 		}
 		g.transports = append(g.transports, acTrs[i])
 	}
-	backupTrs := make([]transport.Transport, cfg.NumAreas)
-	if cfg.WithBackups {
-		for i := range backupTrs {
-			if backupTrs[i], err = cfg.NewTransport(BackupAddr(i)); err != nil {
+	repTrs := make([][]transport.Transport, cfg.NumAreas)
+	for i := range repTrs {
+		repTrs[i] = make([]transport.Transport, cfg.NumReplicas)
+		for r := range repTrs[i] {
+			if repTrs[i][r], err = cfg.NewTransport(ReplicaAddr(i, r)); err != nil {
 				return nil, err
 			}
-			g.transports = append(g.transports, backupTrs[i])
+			g.transports = append(g.transports, repTrs[i][r])
 		}
 	}
 	rsTr, err := cfg.NewTransport(RSAddr)
@@ -268,11 +299,12 @@ func NewFromConfig(cfg Config) (*Group, error) {
 		}
 	}
 
-	// Backups.
-	backupKeys := make([]*crypt.KeyPair, cfg.NumAreas)
-	if cfg.WithBackups {
-		for i := range backupKeys {
-			backupKeys[i], err = g.pool.Get()
+	// Replica key pairs.
+	repKeys := make([][]*crypt.KeyPair, cfg.NumAreas)
+	for i := range repKeys {
+		repKeys[i] = make([]*crypt.KeyPair, cfg.NumReplicas)
+		for r := range repKeys[i] {
+			repKeys[i][r], err = g.pool.Get()
 			if err != nil {
 				return nil, err
 			}
@@ -280,31 +312,8 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	}
 
 	// Journal sync discipline, validated once up front.
-	fsync, err := journal.ParseFsyncPolicy(cfg.FsyncPolicy)
-	if err != nil {
+	if _, err := journal.ParseFsyncPolicy(cfg.FsyncPolicy); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
-	}
-	openJournal := func(name string) (*journal.Journal, *journal.Recovery, error) {
-		j, rec, err := journal.Open(journal.Options{
-			Dir:          filepath.Join(cfg.JournalDir, name),
-			Fsync:        fsync,
-			SegmentBytes: cfg.SegmentBytes,
-			Logf:         cfg.Logf,
-			Clock:        cfg.Clock,
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: opening journal for %s: %w", name, err)
-		}
-		if !rec.Empty() {
-			g.recovered = append(g.recovered, fmt.Sprintf(
-				"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
-				name, rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
-			g.trace.Event(obs.ProtoRecovery, name, "recovered",
-				obs.Int("records", int64(len(rec.Records))),
-				obs.Uint("snapshot_lsn", uint64(rec.SnapshotLSN)),
-				obs.Int("truncated_bytes", int64(rec.TruncatedBytes)))
-		}
-		return j, rec, nil
 	}
 
 	// Controllers, root first so parents exist before children join.
@@ -346,16 +355,30 @@ func NewFromConfig(cfg Config) (*Group, error) {
 				}
 			}
 		}
-		if cfg.WithBackups {
-			acCfg.Backup = &area.PeerInfo{
-				ID:   fmt.Sprintf("backup-%d", i),
-				Addr: backupTrs[i].Addr(),
-				Pub:  backupKeys[i].Public(),
+		if cfg.NumReplicas > 0 {
+			reps := make([]area.PeerInfo, cfg.NumReplicas)
+			for r := range reps {
+				reps[r] = area.PeerInfo{
+					ID:   ReplicaAddr(i, r),
+					Addr: repTrs[i][r].Addr(),
+					Pub:  repKeys[i][r].Public(),
+				}
 			}
+			acCfg.Replicas = reps
+		}
+		acCfg.SplitAbove = cfg.SplitAbove
+		acCfg.MergeBelow = cfg.MergeBelow
+		if cfg.SplitAbove > 0 {
+			idx := i
+			acCfg.OnSplit = func(ids []string) { g.autoSplit(idx, ids) }
+		}
+		if cfg.MergeBelow > 0 && i > 0 {
+			idx := i
+			acCfg.OnMerge = func() { g.autoMerge(idx) }
 		}
 		var ctrl *area.Controller
 		if cfg.JournalDir != "" {
-			j, rec, jerr := openJournal(ACID(i))
+			j, rec, jerr := g.openJournal(ACID(i))
 			if jerr != nil {
 				return nil, jerr
 			}
@@ -372,44 +395,79 @@ func NewFromConfig(cfg Config) (*Group, error) {
 		g.controllers = append(g.controllers, ctrl)
 	}
 
-	// Backups watch their primaries.
-	if cfg.WithBackups {
-		for i := 0; i < cfg.NumAreas; i++ {
-			hb := cfg.HeartbeatEvery
-			if hb == 0 {
-				hb = cfg.TIdle
+	// Replicas watch their primaries and, with more than one per area,
+	// each other: on primary silence they hold a quorum leader election
+	// and the winner rebuilds the controller from replicated journal
+	// segments (or the last full-state sync).
+	for i := 0; i < cfg.NumAreas; i++ {
+		if cfg.NumReplicas == 0 {
+			break
+		}
+		hb := cfg.HeartbeatEvery
+		if hb == 0 {
+			hb = cfg.TIdle
+		}
+		if hb == 0 {
+			hb = area.DefaultTIdle
+		}
+		// With journaling on, seed each replica with the primary's boot
+		// state: if the primary dies before a single hot sync, the
+		// election winner can still cold-restore from what disk held.
+		var cold *area.State
+		if cfg.JournalDir != "" {
+			cold = g.controllers[i].BootState()
+		}
+		peers := make([]replica.Peer, cfg.NumReplicas)
+		for r := range peers {
+			peers[r] = replica.Peer{
+				ID:   ReplicaAddr(i, r),
+				Addr: repTrs[i][r].Addr(),
+				Pub:  repKeys[i][r].Public(),
 			}
-			if hb == 0 {
-				hb = area.DefaultTIdle
-			}
-			// With journaling on, seed the backup with the primary's
-			// boot state: if the primary dies before a single hot sync,
-			// the backup can still cold-restore from what disk held.
-			var cold *area.State
-			if cfg.JournalDir != "" {
-				cold = g.controllers[i].BootState()
+		}
+		for r := 0; r < cfg.NumReplicas; r++ {
+			others := make([]replica.Peer, 0, cfg.NumReplicas-1)
+			var survivors []area.PeerInfo
+			for o := range peers {
+				if o == r {
+					continue
+				}
+				others = append(others, peers[o])
+				survivors = append(survivors, area.PeerInfo{
+					ID: peers[o].ID, Addr: peers[o].Addr, Pub: peers[o].Pub,
+				})
 			}
 			b, err := replica.New(replica.Config{
-				ID:             fmt.Sprintf("backup-%d", i),
-				Transport:      backupTrs[i],
-				Keys:           backupKeys[i],
-				Clock:          cfg.Clock,
-				PrimaryID:      ACID(i),
-				PrimaryPub:     ctrlKeys[i].Public(),
+				ID:         ReplicaAddr(i, r),
+				Transport:  repTrs[i][r],
+				Keys:       repKeys[i][r],
+				Clock:      cfg.Clock,
+				PrimaryID:  ACID(i),
+				PrimaryPub: ctrlKeys[i].Public(),
+				// Bootstrap cadence only: every SegmentPush carries the
+				// primary's authoritative HeartbeatEvery, which overrides
+				// this on adoption.
 				HeartbeatEvery: hb,
+				Peers:          others,
+				Announcer:      r == 0,
 				ColdState:      cold,
 				ControllerConfig: area.Config{
-					KShared:       g.kShared,
-					RSPub:         g.rsKeys.Public(),
-					Directory:     g.ctrlInfo,
-					Batching:      cfg.Batching,
-					TreeArity:     cfg.TreeArity,
-					Policy:        cfg.Policy,
-					DataWorkers:   cfg.DataWorkers,
-					TIdle:         cfg.TIdle,
-					TActive:       cfg.TActive,
-					RekeyInterval: cfg.RekeyInterval,
-					VerifyTimeout: cfg.VerifyTimeout,
+					AreaID:  fmt.Sprintf("area-%d", i),
+					KShared: g.kShared,
+					RSPub:   g.rsKeys.Public(),
+					// A promoted winner keeps replicating to the
+					// surviving replicas of its area.
+					Replicas:         survivors,
+					Directory:        g.ctrlInfo,
+					Batching:         cfg.Batching,
+					TreeArity:        cfg.TreeArity,
+					Policy:           cfg.Policy,
+					SkipRejoinVerify: cfg.SkipRejoinVerify,
+					DataWorkers:      cfg.DataWorkers,
+					TIdle:            cfg.TIdle,
+					TActive:          cfg.TActive,
+					RekeyInterval:    cfg.RekeyInterval,
+					VerifyTimeout:    cfg.VerifyTimeout,
 				},
 				Observer: cfg.Observer,
 				Logf:     cfg.Logf,
@@ -430,7 +488,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 		Logf:        cfg.Logf,
 	}
 	if cfg.JournalDir != "" {
-		j, rec, jerr := openJournal("rs")
+		j, rec, jerr := g.openJournal("rs")
 		if jerr != nil {
 			return nil, jerr
 		}
@@ -444,7 +502,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	}
 	g.RS = rs
 
-	// Start everything: controllers root-first, then backups, then RS.
+	// Start everything: controllers root-first, then replicas, then RS.
 	for _, c := range g.controllers {
 		c.Start()
 	}
@@ -453,6 +511,37 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	}
 	rs.Start()
 	return g, nil
+}
+
+// openJournal opens (or recovers) the journal for one named component
+// under Config.JournalDir, recording anything it restored.
+func (g *Group) openJournal(name string) (*journal.Journal, *journal.Recovery, error) {
+	fsync, err := journal.ParseFsyncPolicy(g.cfg.FsyncPolicy)
+	if err != nil {
+		return nil, nil, err
+	}
+	j, rec, err := journal.Open(journal.Options{
+		Dir:          filepath.Join(g.cfg.JournalDir, name),
+		Fsync:        fsync,
+		SegmentBytes: g.cfg.SegmentBytes,
+		Logf:         g.cfg.Logf,
+		Clock:        g.cfg.Clock,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: opening journal for %s: %w", name, err)
+	}
+	if !rec.Empty() {
+		g.mu.Lock()
+		g.recovered = append(g.recovered, fmt.Sprintf(
+			"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
+			name, rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
+		g.mu.Unlock()
+		g.trace.Event(obs.ProtoRecovery, name, "recovered",
+			obs.Int("records", int64(len(rec.Records))),
+			obs.Uint("snapshot_lsn", uint64(rec.SnapshotLSN)),
+			obs.Int("truncated_bytes", int64(rec.TruncatedBytes)))
+	}
+	return j, rec, nil
 }
 
 // Controller returns controller i.
@@ -480,19 +569,9 @@ func (g *Group) RestartController(i int) error {
 	old.Close()
 	g.acJournals[i].Abandon()
 
-	fsync, err := journal.ParseFsyncPolicy(g.cfg.FsyncPolicy)
+	j, rec, err := g.openJournal(ACID(i))
 	if err != nil {
 		return err
-	}
-	j, rec, err := journal.Open(journal.Options{
-		Dir:          filepath.Join(g.cfg.JournalDir, ACID(i)),
-		Fsync:        fsync,
-		SegmentBytes: g.cfg.SegmentBytes,
-		Logf:         g.cfg.Logf,
-		Clock:        g.cfg.Clock,
-	})
-	if err != nil {
-		return fmt.Errorf("core: reopening journal for %s: %w", ACID(i), err)
 	}
 	acCfg := g.acCfgs[i]
 	acCfg.Journal = j
@@ -504,14 +583,7 @@ func (g *Group) RestartController(i int) error {
 	g.mu.Lock()
 	g.acJournals[i] = j
 	g.controllers[i] = ctrl
-	g.recovered = append(g.recovered, fmt.Sprintf(
-		"%s: recovered snapshot@%d + %d records (truncated %d torn bytes)",
-		ACID(i), rec.SnapshotLSN, len(rec.Records), rec.TruncatedBytes))
 	g.mu.Unlock()
-	g.trace.Event(obs.ProtoRecovery, ACID(i), "recovered",
-		obs.Int("records", int64(len(rec.Records))),
-		obs.Uint("snapshot_lsn", uint64(rec.SnapshotLSN)),
-		obs.Int("truncated_bytes", int64(rec.TruncatedBytes)))
 	ctrl.Start()
 	return nil
 }
@@ -528,17 +600,285 @@ func (g *Group) RecoverySummary() []string {
 // NumAreas returns the configured number of areas.
 func (g *Group) NumAreas() int { return len(g.controllers) }
 
-// Backup returns backup i (nil when backups are disabled).
-func (g *Group) Backup(i int) *replica.Backup {
-	if len(g.backups) == 0 {
+// Backup returns controller i's first replica (nil when replication is
+// disabled).
+func (g *Group) Backup(i int) *replica.Backup { return g.Replica(i, 0) }
+
+// Replica returns controller i's r-th replica, or nil when out of range.
+// Only the controllers present at New have replicas; siblings spawned by
+// an area split run unreplicated until restarted into a replicated
+// deployment.
+func (g *Group) Replica(i, r int) *replica.Replica {
+	n := g.cfg.NumReplicas
+	if n == 0 || i < 0 || r < 0 || r >= n || i >= g.cfg.NumAreas {
 		return nil
 	}
-	return g.backups[i]
+	return g.backups[i*n+r]
 }
 
-// Directory returns the controller directory.
+// ReplicasPerArea reports the configured replica count per controller.
+func (g *Group) ReplicasPerArea() int { return g.cfg.NumReplicas }
+
+// Directory returns the live controller directory (splits append to it,
+// merges remove from it).
 func (g *Group) Directory() []wire.ACInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return append([]wire.ACInfo(nil), g.ctrlInfo...)
+}
+
+// SplitArea splits controller i by hand: the upper half of its sorted
+// live membership migrates to a freshly spawned sibling controller, which
+// is registered with the registration server and parented under the
+// source so data keeps routing. Returns the new controller's ID and the
+// number of members actually reassigned. With Config.SplitAbove set the
+// same machinery runs automatically on the watermark crossing.
+func (g *Group) SplitArea(i int) (string, int, error) {
+	g.mu.Lock()
+	if i < 0 || i >= len(g.controllers) {
+		g.mu.Unlock()
+		return "", 0, fmt.Errorf("core: SplitArea(%d): no such controller", i)
+	}
+	src := g.controllers[i]
+	g.mu.Unlock()
+	ids := src.MemberIDs()
+	return g.splitFrom(i, ids[len(ids)/2+len(ids)%2:])
+}
+
+// splitFrom spawns a sibling for controller i and migrates the given
+// members into it. The spawn order matters: the sibling must be running
+// and registered (directory, registration server, prevouch) before the
+// source reassigns anyone, so a migrant's ticket rejoin cannot arrive
+// ahead of the controller that must admit it.
+func (g *Group) splitFrom(i int, migrate []string) (string, int, error) {
+	if len(migrate) == 0 {
+		return "", 0, fmt.Errorf("core: split of %s: no migratable members", ACID(i))
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return "", 0, fmt.Errorf("core: split of %s: group closed", ACID(i))
+	}
+	src := g.controllers[i]
+	srcCfg := g.acCfgs[i]
+	newIdx := len(g.controllers)
+	g.mu.Unlock()
+	newID := ACID(newIdx)
+
+	tr, err := g.cfg.NewTransport(newID)
+	if err != nil {
+		return "", 0, fmt.Errorf("core: split of %s: %w", ACID(i), err)
+	}
+	keys, err := g.pool.Get()
+	if err != nil {
+		_ = tr.Close()
+		return "", 0, err
+	}
+	info := wire.ACInfo{ID: newID, Addr: tr.Addr(), PubDER: keys.Public().Marshal()}
+
+	acCfg := area.Config{
+		ID:        newID,
+		AreaID:    fmt.Sprintf("area-%d", newIdx),
+		Transport: tr,
+		Keys:      keys,
+		Clock:     g.cfg.Clock,
+		KShared:   g.kShared,
+		RSPub:     g.rsKeys.Public(),
+		// The sibling hangs under the source controller, so its area's
+		// data still routes through the tree it split from.
+		Parent: &area.PeerInfo{
+			ID:   srcCfg.ID,
+			Addr: srcCfg.Transport.Addr(),
+			Pub:  srcCfg.Keys.Public(),
+		},
+		Directory:        append(g.Directory(), info),
+		Batching:         g.cfg.Batching,
+		TreeArity:        g.cfg.TreeArity,
+		Policy:           g.cfg.Policy,
+		SkipRejoinVerify: g.cfg.SkipRejoinVerify,
+		DataWorkers:      g.cfg.DataWorkers,
+		TIdle:            g.cfg.TIdle,
+		TActive:          g.cfg.TActive,
+		RekeyInterval:    g.cfg.RekeyInterval,
+		VerifyTimeout:    g.cfg.VerifyTimeout,
+		HeartbeatEvery:   g.cfg.HeartbeatEvery,
+		SplitAbove:       g.cfg.SplitAbove,
+		MergeBelow:       g.cfg.MergeBelow,
+		Observer:         g.cfg.Observer,
+		Logf:             g.cfg.Logf,
+	}
+	if g.cfg.SplitAbove > 0 {
+		acCfg.OnSplit = func(ids []string) { g.autoSplit(newIdx, ids) }
+	}
+	if g.cfg.MergeBelow > 0 {
+		acCfg.OnMerge = func() { g.autoMerge(newIdx) }
+	}
+	var ctrl *area.Controller
+	var j *journal.Journal
+	if g.cfg.JournalDir != "" {
+		var rec *journal.Recovery
+		j, rec, err = g.openJournal(newID)
+		if err != nil {
+			_ = tr.Close()
+			return "", 0, err
+		}
+		acCfg.Journal = j
+		ctrl, err = area.NewFromJournal(acCfg, rec)
+	} else {
+		ctrl, err = area.New(acCfg)
+	}
+	if err != nil {
+		if j != nil {
+			_ = j.Close()
+		}
+		_ = tr.Close()
+		return "", 0, fmt.Errorf("core: split of %s: spawning %s: %w", ACID(i), newID, err)
+	}
+
+	g.mu.Lock()
+	g.controllers = append(g.controllers, ctrl)
+	g.acCfgs = append(g.acCfgs, acCfg)
+	if j != nil {
+		g.acJournals = append(g.acJournals, j)
+	}
+	g.transports = append(g.transports, tr)
+	g.ctrlInfo = append(g.ctrlInfo, info)
+	peers := make([]*area.Controller, 0, len(g.controllers)-1)
+	for k, c := range g.controllers {
+		if k != newIdx {
+			peers = append(peers, c)
+		}
+	}
+	g.mu.Unlock()
+
+	// Introduce the sibling to the controllers that predate it — above
+	// all its parent, which would otherwise refuse the area-join request
+	// of an unknown controller.
+	for _, c := range peers {
+		c.UpsertDirectory(info)
+	}
+	ctrl.Start()
+	if err := g.RS.AddController(info); err != nil {
+		return newID, 0, fmt.Errorf("core: split of %s: registering %s: %w", ACID(i), newID, err)
+	}
+	ctrl.Prevouch(migrate)
+	n, err := src.Reassign(migrate, area.PeerInfo{ID: newID, Addr: tr.Addr(), Pub: keys.Public()}, "split")
+	if err != nil {
+		return newID, n, fmt.Errorf("core: split of %s: reassigning to %s: %w", ACID(i), newID, err)
+	}
+	g.trace.Event(obs.ProtoSplit, ACID(i), "split",
+		obs.String("sibling", newID), obs.Int("migrated", int64(n)))
+	return newID, n, nil
+}
+
+// autoSplit is the Config.SplitAbove watermark callback for controller i.
+func (g *Group) autoSplit(i int, migrate []string) {
+	newID, n, err := g.splitFrom(i, migrate)
+	if err != nil {
+		g.cfg.Logf("core: auto split of %s: %v", ACID(i), err)
+		return
+	}
+	g.cfg.Logf("core: split %s: %d members migrated to %s", ACID(i), n, newID)
+}
+
+// MergeArea drains controller i into controller `into` and retires it:
+// the registration server drops it from the directory first (no new
+// joins land on it), the survivor prevouches the migration set, every
+// member is reassigned, and the drained controller shuts down. Its slot
+// in the controller list remains (indices stay stable) but it serves
+// nothing. With Config.MergeBelow set, an underpopulated non-root
+// controller merges into its parent automatically.
+func (g *Group) MergeArea(i, into int) (int, error) {
+	g.mu.Lock()
+	if i < 0 || i >= len(g.controllers) || into < 0 || into >= len(g.controllers) || i == into {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("core: MergeArea(%d, %d): bad controller pair", i, into)
+	}
+	live := false
+	for _, ac := range g.ctrlInfo {
+		if ac.ID == ACID(i) {
+			live = true
+		}
+	}
+	if !live {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("core: MergeArea: %s already retired", ACID(i))
+	}
+	dying := g.controllers[i]
+	survivor := g.controllers[into]
+	survivorCfg := g.acCfgs[into]
+	g.mu.Unlock()
+
+	if err := g.RS.RemoveController(ACID(i)); err != nil {
+		return 0, fmt.Errorf("core: merge of %s: %w", ACID(i), err)
+	}
+	ids := dying.MemberIDs()
+	survivor.Prevouch(ids)
+	target := area.PeerInfo{
+		ID:   survivorCfg.ID,
+		Addr: survivorCfg.Transport.Addr(),
+		Pub:  survivorCfg.Keys.Public(),
+	}
+	n, err := dying.Reassign(ids, target, "merge")
+	if err != nil {
+		return n, fmt.Errorf("core: merge of %s: %w", ACID(i), err)
+	}
+
+	g.mu.Lock()
+	for k := range g.ctrlInfo {
+		if g.ctrlInfo[k].ID == ACID(i) {
+			g.ctrlInfo = append(g.ctrlInfo[:k], g.ctrlInfo[k+1:]...)
+			break
+		}
+	}
+	survivors := make([]*area.Controller, 0, len(g.controllers)-1)
+	for k, c := range g.controllers {
+		if k != i {
+			survivors = append(survivors, c)
+		}
+	}
+	g.mu.Unlock()
+	for _, c := range survivors {
+		c.RemoveDirectory(ACID(i))
+	}
+	dying.Close()
+	if g.cfg.JournalDir != "" {
+		_ = g.acJournals[i].Close()
+	}
+	g.trace.Event(obs.ProtoSplit, ACID(i), "merged",
+		obs.String("survivor", ACID(into)), obs.Int("migrated", int64(n)))
+	return n, nil
+}
+
+// autoMerge is the Config.MergeBelow watermark callback for controller i:
+// it folds the controller into its (still live) parent.
+func (g *Group) autoMerge(i int) {
+	g.mu.Lock()
+	into := -1
+	if parent := g.acCfgs[i].Parent; parent != nil {
+		for k := range g.acCfgs {
+			if g.acCfgs[k].ID != parent.ID {
+				continue
+			}
+			for _, ac := range g.ctrlInfo {
+				if ac.ID == parent.ID {
+					into = k
+				}
+			}
+			break
+		}
+	}
+	g.mu.Unlock()
+	if into < 0 {
+		g.cfg.Logf("core: auto merge of %s: no live parent to merge into", ACID(i))
+		return
+	}
+	n, err := g.MergeArea(i, into)
+	if err != nil {
+		g.cfg.Logf("core: auto merge of %s: %v", ACID(i), err)
+		return
+	}
+	g.cfg.Logf("core: merge %s: %d members folded into %s", ACID(i), n, ACID(into))
 }
 
 // KShared exposes the shared ticket key, for tests that forge tickets.

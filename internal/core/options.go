@@ -54,7 +54,27 @@ func WithBatching() Option { return func(c *Config) { c.Batching = true } }
 func WithTreeArity(n int) Option { return func(c *Config) { c.TreeArity = n } }
 
 // WithBackups gives every controller a §IV-C primary-backup replica.
+// Equivalent to WithReplicas(1).
 func WithBackups() Option { return func(c *Config) { c.WithBackups = true } }
+
+// WithReplicas gives every controller n replicas running quorum leader
+// election over journal-segment replication: on primary failure the
+// replicas elect the best-caught-up candidate, which rebuilds the
+// controller from replicated journal segments and announces the failover
+// through the first replica (whose key members learned at join).
+func WithReplicas(n int) Option { return func(c *Config) { c.NumReplicas = n } }
+
+// WithAreaWatermarks turns on dynamic area split and merge: a controller
+// whose live membership exceeds splitAbove sheds the upper half of its
+// sorted member set to a freshly spawned sibling, and a non-root
+// controller sinking under mergeBelow (but above zero) folds its members
+// into its parent and retires. Zero disables either watermark.
+func WithAreaWatermarks(splitAbove, mergeBelow int) Option {
+	return func(c *Config) {
+		c.SplitAbove = splitAbove
+		c.MergeBelow = mergeBelow
+	}
+}
 
 // WithPolicy selects rejoin behaviour under partition.
 func WithPolicy(p area.PartitionPolicy) Option { return func(c *Config) { c.Policy = p } }

@@ -1,0 +1,87 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestExportFrom covers the tail read-out: whole log, mid-log suffix,
+// nothing-to-ship, and the snapshot-baseline path after compaction.
+func TestExportFrom(t *testing.T) {
+	j, rec, err := Open(Options{Dir: t.TempDir(), SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !rec.Empty() {
+		t.Fatalf("fresh journal not empty: %+v", rec)
+	}
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("record-%02d-padding-to-force-rotation", i))
+		want = append(want, p)
+		if _, err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	checkRecords := func(ex *Export, from int) {
+		t.Helper()
+		if ex.FromLSN != uint64(from+1) || ex.NextLSN != 11 {
+			t.Fatalf("export range [%d,%d), want [%d,11)", ex.FromLSN, ex.NextLSN, from+1)
+		}
+		if len(ex.Records) != len(want)-from {
+			t.Fatalf("exported %d records, want %d", len(ex.Records), len(want)-from)
+		}
+		for i, p := range ex.Records {
+			if !bytes.Equal(p, want[from+i]) {
+				t.Fatalf("record %d mismatch: %q", from+i, p)
+			}
+		}
+	}
+
+	ex, err := j.ExportFrom(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Snapshot != nil {
+		t.Fatal("unexpected snapshot baseline before compaction")
+	}
+	checkRecords(ex, 0)
+
+	ex, err = j.ExportFrom(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRecords(ex, 5)
+
+	ex, err = j.ExportFrom(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Records) != 0 || ex.FromLSN != 11 || ex.NextLSN != 11 {
+		t.Fatalf("up-to-date export should be empty, got %+v", ex)
+	}
+
+	// Two snapshots compact the early segments away; an export from LSN 1
+	// must now fall back to the newest snapshot baseline.
+	for i := 0; i < 2; i++ {
+		if err := j.Snapshot([]byte("state@10")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := j.Append([]byte("record-11")); err != nil {
+		t.Fatal(err)
+	}
+	ex, err = j.ExportFrom(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.SnapshotLSN != 10 || !bytes.Equal(ex.Snapshot, []byte("state@10")) {
+		t.Fatalf("want snapshot baseline @10, got @%d %q", ex.SnapshotLSN, ex.Snapshot)
+	}
+	if ex.FromLSN != 11 || ex.NextLSN != 12 || len(ex.Records) != 1 || !bytes.Equal(ex.Records[0], []byte("record-11")) {
+		t.Fatalf("baseline export tail wrong: %+v", ex)
+	}
+}

@@ -1,6 +1,7 @@
 package member
 
 import (
+	"bytes"
 	"errors"
 	"time"
 
@@ -40,6 +41,8 @@ func (m *Member) handleFrame(f *wire.Frame) {
 		m.handleACAlive(f)
 	case wire.KindACFailover:
 		m.handleFailover(f)
+	case wire.KindAreaReassign:
+		m.handleAreaReassign(f)
 	default:
 		m.cfg.Logf("%s: ignoring frame kind %v from %s", m.cfg.ID, f.Kind, f.From)
 	}
@@ -160,13 +163,79 @@ func (m *Member) handleFailover(f *wire.Frame) {
 	}
 	m.connected = true
 	m.acAddr = fo.NewAddr
+	// The announcement names the successor's key: with quorum election a
+	// replica other than the announcer may have won, and its rekeys will
+	// carry its own signature. The trusted backup key vouches for it; fall
+	// back to that key for announcements predating the NewPub field.
 	m.acPub = m.backupPub
+	if len(fo.NewPub) > 0 {
+		if pub, err := crypt.ParsePublicKey(fo.NewPub); err == nil {
+			m.acPub = pub
+		}
+	}
 	m.acID = m.acID + "+backup"
 	m.lastACRecv = m.clk.Now()
 	m.cfg.Logf("%s: controller failover; now served by %s", m.cfg.ID, fo.NewAddr)
 	if fo.Epoch > m.view.Epoch() {
 		m.requestPath()
 	}
+}
+
+// handleAreaReassign migrates to the target controller named by our own
+// controller during an area split or merge: the target is upserted into
+// the directory (the frame carries its endpoint and key, signed by the
+// controller we already trust) and a ticket rejoin starts toward it. The
+// old controller prevouched us there, so the rejoin admits without the
+// steps 4-5 round trip.
+func (m *Member) handleAreaReassign(f *wire.Frame) {
+	if !m.connected || f.From != m.acAddr {
+		return
+	}
+	if err := m.acPub.Verify(f.Body, f.Sig); err != nil {
+		m.cfg.Logf("%s: area reassign with bad signature dropped", m.cfg.ID)
+		return
+	}
+	var ra wire.AreaReassign
+	if err := wire.DecodePlain(f.Body, &ra); err != nil {
+		return
+	}
+	if ra.AreaID != m.areaID {
+		return
+	}
+	m.upsertDirectory(wire.ACInfo{ID: ra.TargetID, Addr: ra.TargetAddr, PubDER: ra.TargetPub})
+	m.trace.Event(obs.ProtoSplit, m.cfg.ID, "reassigned",
+		obs.String("target", ra.TargetID), obs.String("reason", ra.Reason))
+	if m.op != nil {
+		// A handshake is already in flight; when it resolves, auto-rejoin
+		// finds the target through the updated directory.
+		m.cfg.Logf("%s: reassign to %s deferred (operation in flight)", m.cfg.ID, ra.TargetID)
+		return
+	}
+	errc := make(chan error, 1)
+	m.startRejoin(ra.TargetID, errc)
+	go func() {
+		if err := <-errc; err != nil {
+			m.cfg.Logf("%s: reassign rejoin to %s failed: %v", m.cfg.ID, ra.TargetID, err)
+		}
+	}()
+}
+
+// upsertDirectory installs or refreshes one controller entry. The backing
+// slice may be shared across members (directoryCache), so it is replaced,
+// never mutated.
+func (m *Member) upsertDirectory(info wire.ACInfo) {
+	for i := range m.directory {
+		if m.directory[i].ID == info.ID {
+			if m.directory[i].Addr == info.Addr && bytes.Equal(m.directory[i].PubDER, info.PubDER) {
+				return
+			}
+			nd := append([]wire.ACInfo(nil), m.directory...)
+			nd[i] = info
+			m.directory = nd
+			return
+		}
+	}
+	m.directory = append(append([]wire.ACInfo(nil), m.directory...), info)
 }
 
 // handleACAlive records controller liveness and, via the epoch the alive

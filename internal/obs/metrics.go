@@ -5,8 +5,9 @@
 //
 // Metric names are registered up front with a help string, so a
 // misspelled name fails loudly at construction or lookup instead of
-// silently creating a fresh series the way the old string-keyed
-// stats.Registry did. All handles are safe for concurrent use and
+// silently creating a fresh series the way the (since removed)
+// string-keyed stats.Registry did. All handles are safe for concurrent
+// use and
 // nil-receiver safe, so instrumented code never has to guard against a
 // missing registry.
 package obs
@@ -222,8 +223,8 @@ func (r *Registry) Reset() {
 	}
 }
 
-// String renders "name=value" pairs sorted by name, matching the old
-// stats.Registry exposition used in logs and tests.
+// String renders "name=value" pairs sorted by name — the flat
+// exposition used in logs and tests.
 func (r *Registry) String() string {
 	snap := r.Snapshot()
 	names := make([]string, 0, len(snap))
@@ -239,8 +240,7 @@ func (r *Registry) String() string {
 }
 
 // Counter is a monotonically non-decreasing metric. Negative deltas are
-// ignored, matching the old stats.Counter contract. A nil *Counter is a
-// no-op.
+// ignored. A nil *Counter is a no-op.
 type Counter struct {
 	v atomic.Int64
 }
@@ -511,8 +511,14 @@ const (
 	MetricJoinSeconds   = "mykil_member_join_seconds"
 	MetricRejoinSeconds = "mykil_member_rejoin_seconds"
 	MetricRekeySeconds  = "mykil_ac_rekey_seconds"
+	MetricElections     = "mykil_elections_total"
+	MetricAreaSplits    = "mykil_area_splits_total"
+	MetricReplBytes     = "mykil_replication_bytes_total"
 
 	HelpJoinSeconds   = "Latency of the full 7-step member join handshake."
 	HelpRejoinSeconds = "Latency of the 6-step ticket rejoin handshake."
 	HelpRekeySeconds  = "Duration of one area batch rekey (tree recompute + seal)."
+	HelpElections     = "Quorum leader elections won across all replica sets."
+	HelpAreaSplits    = "Dynamic area topology changes (splits and merges)."
+	HelpReplBytes     = "Payload bytes shipped to replicas (snapshot or segment sync)."
 )

@@ -33,6 +33,11 @@ const (
 	ProtoRecovery Protocol = "recovery"
 	// ProtoFailover covers backup-replica promotion (§IV-B).
 	ProtoFailover Protocol = "failover"
+	// ProtoElection covers quorum leader election among an area's
+	// replica set, including segment catch-up pulls.
+	ProtoElection Protocol = "election"
+	// ProtoSplit covers dynamic area split/merge topology changes.
+	ProtoSplit Protocol = "split"
 )
 
 // Attr is one key/value annotation on an event. Values are plain

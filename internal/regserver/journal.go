@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mykil/internal/journal"
+	"mykil/internal/wire"
 	"mykil/internal/wire/codec"
 )
 
@@ -22,10 +23,21 @@ const (
 	recAdmit byte = 1
 	// recKSharedEpoch records a bump of the shared ticket-key epoch.
 	recKSharedEpoch byte = 2
+	// recACAdd records one controller entering the directory (an area
+	// split spawned it, or an operator registered it).
+	recACAdd byte = 3
+	// recACRemove records one controller leaving the directory (merged
+	// away or decommissioned).
+	recACRemove byte = 4
 )
 
-// rsSnapFormatV1 is the leading version byte of the registry snapshot.
-const rsSnapFormatV1 = 1
+// Registry snapshot versions. V1 carried the epoch and member registry;
+// V2 appends the live controller directory, so the dynamic area map
+// survives a restart without replaying every add/remove.
+const (
+	rsSnapFormatV1 = 1
+	rsSnapFormatV2 = 2
+)
 
 // DefaultSnapshotEvery is the record cadence between registry snapshots.
 const DefaultSnapshotEvery = 512
@@ -97,10 +109,11 @@ func (s *Server) BumpKSharedEpoch() uint64 {
 }
 
 // journalSnapshot writes the registry snapshot: version, K_shared epoch,
-// and every registered member in sorted ID order (the encoding is
-// canonical, so identical registries produce identical snapshots).
+// every registered member in sorted ID order, and the live controller
+// directory (the encoding is canonical, so identical registries produce
+// identical snapshots).
 func (s *Server) journalSnapshot() {
-	b := []byte{rsSnapFormatV1}
+	b := []byte{rsSnapFormatV2}
 	b = codec.AppendUvarint(b, s.ksharedEpoch)
 	ids := make([]string, 0, len(s.registry))
 	for id := range s.registry {
@@ -111,11 +124,108 @@ func (s *Server) journalSnapshot() {
 	for _, id := range ids {
 		b = s.registry[id].appendWire(b)
 	}
+	b = codec.AppendUvarint(b, uint64(len(s.controllers)))
+	for _, ac := range s.controllers {
+		b = appendACInfoWire(b, ac)
+	}
 	if err := s.cfg.Journal.Snapshot(b); err != nil {
 		s.cfg.Logf("regserver: writing journal snapshot: %v", err)
 		return
 	}
 	s.recsSinceSnap = 0
+}
+
+// appendACInfoWire appends one directory entry's compact encoding.
+func appendACInfoWire(b []byte, ac wire.ACInfo) []byte {
+	b = codec.AppendString(b, ac.ID)
+	b = codec.AppendString(b, ac.Addr)
+	return codec.AppendBytes(b, ac.PubDER)
+}
+
+// readACInfoWire decodes a directory entry written by appendACInfoWire.
+func readACInfoWire(r *codec.Reader) (wire.ACInfo, error) {
+	ac := wire.ACInfo{ID: r.String(), Addr: r.String(), PubDER: r.Bytes()}
+	return ac, r.Err()
+}
+
+// acInfoMinWire is the smallest encoded directory entry: three empty
+// length prefixes.
+const acInfoMinWire = 3
+
+// upsertController installs or refreshes one directory entry in place.
+// Runs on the loop (or pre-Start).
+func (s *Server) upsertController(ac wire.ACInfo) {
+	for i := range s.controllers {
+		if s.controllers[i].ID == ac.ID {
+			s.controllers[i] = ac
+			return
+		}
+	}
+	s.controllers = append(s.controllers, ac)
+}
+
+// dropController removes one directory entry by ID. Runs on the loop
+// (or pre-Start).
+func (s *Server) dropController(id string) {
+	for i := range s.controllers {
+		if s.controllers[i].ID == id {
+			s.controllers = append(s.controllers[:i], s.controllers[i+1:]...)
+			return
+		}
+	}
+}
+
+// AddController registers (or refreshes) an area controller in the live
+// directory and journals the change: every later join grant hands out a
+// directory containing it. Split orchestration calls this with the
+// freshly spawned sibling before any member is migrated, so migrants'
+// future rejoins can find it.
+func (s *Server) AddController(ac wire.ACInfo) error {
+	if ac.ID == "" || ac.Addr == "" || len(ac.PubDER) == 0 {
+		return fmt.Errorf("regserver: controller needs ID, Addr, and PubDER")
+	}
+	return s.loop.Call(func() {
+		s.upsertController(ac)
+		if s.cfg.Journal == nil {
+			return
+		}
+		b := appendACInfoWire([]byte{recACAdd}, ac)
+		if _, err := s.cfg.Journal.Append(b); err != nil {
+			s.cfg.Logf("regserver: JOURNAL APPEND FAILED (restart durability degraded): %v", err)
+			return
+		}
+		s.recsSinceSnap++
+		if s.recsSinceSnap >= s.cfg.SnapshotEvery {
+			s.journalSnapshot()
+		}
+	})
+}
+
+// RemoveController retires an area controller from the live directory
+// and journals the change — the merge counterpart of AddController.
+func (s *Server) RemoveController(id string) error {
+	return s.loop.Call(func() {
+		s.dropController(id)
+		if s.cfg.Journal == nil {
+			return
+		}
+		b := codec.AppendString([]byte{recACRemove}, id)
+		if _, err := s.cfg.Journal.Append(b); err != nil {
+			s.cfg.Logf("regserver: JOURNAL APPEND FAILED (restart durability degraded): %v", err)
+			return
+		}
+		s.recsSinceSnap++
+		if s.recsSinceSnap >= s.cfg.SnapshotEvery {
+			s.journalSnapshot()
+		}
+	})
+}
+
+// Controllers reports a copy of the live directory.
+func (s *Server) Controllers() []wire.ACInfo {
+	var out []wire.ACInfo
+	_ = s.loop.Call(func() { out = append([]wire.ACInfo(nil), s.controllers...) })
+	return out
 }
 
 // restoreFromJournal rebuilds the registry from a recovery. Called from
@@ -126,7 +236,8 @@ func (s *Server) restoreFromJournal(rec *journal.Recovery) error {
 	}
 	if rec.Snapshot != nil {
 		r := codec.NewReader(rec.Snapshot)
-		if v := r.Byte(); r.Err() == nil && v != rsSnapFormatV1 {
+		v := r.Byte()
+		if r.Err() == nil && v != rsSnapFormatV1 && v != rsSnapFormatV2 {
 			return fmt.Errorf("regserver: unknown registry snapshot version %d", v)
 		}
 		s.ksharedEpoch = r.Uvarint()
@@ -137,6 +248,20 @@ func (s *Server) restoreFromJournal(rec *journal.Recovery) error {
 				return fmt.Errorf("regserver: registry snapshot member: %w", err)
 			}
 			s.registry[m.ClientID] = m
+		}
+		if v >= rsSnapFormatV2 {
+			// The snapshot's directory is the truth at snapshot time; it
+			// replaces the config seed entirely (a controller absent from
+			// it was removed before the snapshot).
+			cn := r.Count(acInfoMinWire)
+			s.controllers = make([]wire.ACInfo, 0, cn)
+			for i := 0; i < cn; i++ {
+				ac, err := readACInfoWire(r)
+				if err != nil {
+					return fmt.Errorf("regserver: registry snapshot controller: %w", err)
+				}
+				s.controllers = append(s.controllers, ac)
+			}
 		}
 		if err := r.Finish(); err != nil {
 			return fmt.Errorf("regserver: registry snapshot: %w", err)
@@ -160,6 +285,21 @@ func (s *Server) restoreFromJournal(rec *journal.Recovery) error {
 				return fmt.Errorf("regserver: journal record %d: %w", i+1, err)
 			}
 			s.ksharedEpoch = epoch
+		case recACAdd:
+			ac, err := readACInfoWire(r)
+			if err != nil {
+				return fmt.Errorf("regserver: journal record %d: %w", i+1, err)
+			}
+			if err := r.Finish(); err != nil {
+				return fmt.Errorf("regserver: journal record %d: %w", i+1, err)
+			}
+			s.upsertController(ac)
+		case recACRemove:
+			id := r.String()
+			if err := r.Finish(); err != nil {
+				return fmt.Errorf("regserver: journal record %d: %w", i+1, err)
+			}
+			s.dropController(id)
 		default:
 			return fmt.Errorf("regserver: journal record %d: unknown kind %d", i+1, kind)
 		}

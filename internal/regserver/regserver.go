@@ -108,8 +108,11 @@ type Config struct {
 	Clock clock.Clock
 	// Auth decides eligibility. Required.
 	Auth Authorizer
-	// Controllers is the directory of area controllers (id, address,
-	// public key). Required, non-empty.
+	// Controllers seeds the directory of area controllers (id, address,
+	// public key). Required, non-empty. The live directory is dynamic:
+	// AddController and RemoveController change it at runtime (area
+	// splits spawn controllers, merges retire them), and with Journal set
+	// every change is durable.
 	Controllers []wire.ACInfo
 	// Picker selects an area per client; nil means round-robin.
 	Picker AreaPicker
@@ -150,6 +153,9 @@ type Server struct {
 	sessions map[string]*session
 	// registry is the durable member registry (loop-owned after Start).
 	registry map[string]RegisteredMember
+	// controllers is the live area-controller directory (loop-owned after
+	// Start), seeded from cfg.Controllers and mutated by Add/Remove.
+	controllers []wire.ACInfo
 	// ksharedEpoch is the durable shared ticket-key epoch (loop-owned).
 	ksharedEpoch uint64
 	// recsSinceSnap counts journal records since the last snapshot.
@@ -184,10 +190,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.SnapshotEvery = DefaultSnapshotEvery
 	}
 	s := &Server{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		sessions: make(map[string]*session),
-		registry: make(map[string]RegisteredMember),
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		sessions:    make(map[string]*session),
+		registry:    make(map[string]RegisteredMember),
+		controllers: append([]wire.ACInfo(nil), cfg.Controllers...),
 	}
 	s.trace = obs.NewTracer("regserver", cfg.Clock, cfg.Observer)
 	if err := s.restoreFromJournal(cfg.Recovery); err != nil {
@@ -296,7 +303,11 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 		return
 	}
 
-	ac := s.cfg.Picker.Pick(sess.clientID, s.cfg.Controllers)
+	if len(s.controllers) == 0 {
+		s.deny(sess.clientAddr, sess.clientPub, sess.clientID, "no area controller available")
+		return
+	}
+	ac := s.cfg.Picker.Pick(sess.clientID, s.controllers)
 	acPub, err := crypt.ParsePublicKey(ac.PubDER)
 	if err != nil {
 		s.cfg.Logf("regserver: controller %s has unparsable key: %v", ac.ID, err)
@@ -335,7 +346,7 @@ func (s *Server) handleJoinResponse(f *wire.Frame) {
 	s.sendSealed(sess.clientAddr, sess.clientPub, wire.KindJoinGrant, wire.JoinGrant{
 		NonceACPlus1: nonceAC + 1,
 		AC:           ac,
-		Directory:    append([]wire.ACInfo(nil), s.cfg.Controllers...),
+		Directory:    append([]wire.ACInfo(nil), s.controllers...),
 	}, true)
 
 	s.joins.Add(1)

@@ -1,9 +1,17 @@
-// Package replica implements the backup half of Mykil's §IV-C
-// primary-backup replication of an area controller. The backup passively
-// absorbs state snapshots and heartbeats from the primary; when the
-// heartbeats stop, it promotes itself: it reconstructs an area controller
-// from the last replicated state, starts serving under its own address
-// and key pair, and announces the takeover to the area.
+// Package replica implements Mykil's fault-tolerance layer past the
+// paper's single passive backup (§IV-C): an area controller ships its
+// journal — segment records rather than full state snapshots — to N
+// replicas, and when the primary's heartbeats stop the replicas run a
+// Bully-style quorum leader election. Candidates are ordered by applied
+// journal LSN (ties broken by ID), so the winner always holds the
+// longest log; it rebuilds the controller with area.NewFromJournal,
+// which regenerates byte-identical tree keys, and takes over with zero
+// member rejoins. Losers re-point their monitoring at the new leader and
+// keep replicating — the replica set heals itself.
+//
+// With no peers configured the machinery degenerates to the paper's
+// passive backup: a quorum of one promotes immediately after the
+// takeover window of silence.
 package replica
 
 import (
@@ -15,6 +23,7 @@ import (
 	"mykil/internal/area"
 	"mykil/internal/clock"
 	"mykil/internal/crypt"
+	"mykil/internal/journal"
 	"mykil/internal/node"
 	"mykil/internal/obs"
 	"mykil/internal/transport"
@@ -25,80 +34,141 @@ import (
 // heartbeat intervals.
 const DefaultTakeoverFactor = 5
 
+// DefaultHeartbeatEvery seeds the monitor cadence until the first
+// segment sync carries the primary's configured interval.
+const DefaultHeartbeatEvery = 500 * time.Millisecond
+
 // ErrNotPromoted reports that no takeover has happened yet.
 var ErrNotPromoted = errors.New("replica: not promoted")
 
-// Config parameterizes a backup.
+// Peer identifies a fellow replica in the same replica set.
+type Peer struct {
+	ID   string
+	Addr string
+	Pub  crypt.PublicKey
+}
+
+// Config parameterizes a replica.
 type Config struct {
-	// ID is the backup's identity. Required.
+	// ID is the replica's identity. Required.
 	ID string
-	// Transport carries frames; Keys is the backup's own key pair. Both
-	// required. Members learn this public key at join and use it to
-	// verify the takeover announcement.
+	// Transport carries frames; Keys is the replica's own key pair. Both
+	// required. Members learn the advertised replica's public key at join
+	// and use it to verify the takeover announcement.
 	Transport transport.Transport
 	Keys      *crypt.KeyPair
 	// Clock drives the heartbeat monitor; nil means clock.Real.
 	Clock clock.Clock
 	// PrimaryID and PrimaryPub identify and authenticate the watched
-	// primary. Required.
+	// primary. Required. Both are re-pointed at the winner after an
+	// election this replica loses.
 	PrimaryID  string
 	PrimaryPub crypt.PublicKey
-	// HeartbeatEvery is the primary's configured heartbeat interval.
-	// Required (must match the primary's area.Config.HeartbeatEvery).
+	// HeartbeatEvery bootstraps the monitor cadence; zero means
+	// DefaultHeartbeatEvery. The authoritative value is the one the
+	// primary carries in every SegmentPush, so a drifting config cannot
+	// skew the takeover window once the first sync arrives.
 	HeartbeatEvery time.Duration
 	// TakeoverAfter overrides the silence window; zero means
-	// DefaultTakeoverFactor × HeartbeatEvery.
+	// DefaultTakeoverFactor × the current heartbeat interval.
 	TakeoverAfter time.Duration
+	// Peers lists the other replicas of the same primary. Empty recovers
+	// the paper's passive single-backup behaviour.
+	Peers []Peer
+	// Announcer marks the replica whose address and key were advertised
+	// to members in their welcomes. Members only trust ACFailover frames
+	// signed by that key, so when a different replica wins the election,
+	// the announcer relays the takeover notice on the winner's behalf.
+	Announcer bool
 	// ControllerConfig seeds the promoted controller (KShared, RSPub,
 	// Directory, timing...). Transport, Keys, ID, Clock are overridden
-	// with the backup's own.
+	// with the replica's own.
 	ControllerConfig area.Config
 	// ColdState, if set, is a state recovered from a durable journal. It
-	// lets the backup promote even when the primary died before sending a
-	// single snapshot or heartbeat: after a takeover window of silence
-	// measured from Start, the backup restores from ColdState. A fresher
-	// hot snapshot from the primary always wins.
+	// lets the replica promote even when the primary died before sending
+	// a single sync or heartbeat: after a takeover window of silence
+	// measured from Start, the replica restores from ColdState. Fresher
+	// replicated state always wins.
 	ColdState *area.State
 	// OnPromote, if set, is called with the promoted controller.
 	OnPromote func(*area.Controller)
-	// Observer, if set, receives a failover trace event on takeover. It
+	// Observer, if set, receives election and failover trace events. It
 	// is also handed to the promoted controller.
 	Observer obs.Sink
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
 
-// Backup watches a primary area controller and takes over on failure.
-type Backup struct {
-	cfg      Config
-	clk      clock.Clock
-	takeover time.Duration
+// Replica watches a primary area controller, replicates its journal, and
+// takes part in leader election when the primary fails.
+type Replica struct {
+	cfg Config
+	clk clock.Clock
 
 	// mu guards the replicated state and promotion result: accessors stay
 	// readable after the loop exits at promotion.
-	mu        sync.Mutex
-	state     *area.State
-	stateSeq  uint64
-	lastHB    time.Time
-	hbSeen    bool
-	started   time.Time
-	trace     *obs.Tracer
-	promoted  *area.Controller
-	syncCount int64
+	mu sync.Mutex
+	// Snapshot-mode state (legacy full-state sync from unjournaled
+	// primaries).
+	state    *area.State
+	stateSeq uint64
+	// Journal-mode accumulation: a baseline snapshot plus the record tail
+	// — exactly the shape of a journal.Recovery.
+	base    []byte
+	baseLSN uint64
+	recs    [][]byte
+	nextLSN uint64 // next LSN needed; 0 until the first record lands
+
+	hbEvery  time.Duration
+	takeover time.Duration
+
+	primaryID   string
+	primaryPub  crypt.PublicKey
+	primaryAddr string
+
+	lastHB   time.Time
+	hbSeen   bool
+	started  time.Time
+	lastPull time.Time
+
+	electing      bool
+	votes         map[string]bool
+	electionEnds  time.Time
+	suppressUntil time.Time
+	votedFor      string
+	votedUntil    time.Time
+	// rank counts the peers that beat this replica's ID in the bully
+	// order: 0 for the strongest candidate. Silence detection and
+	// election retries are staggered by rank so the replica that would
+	// win a tie campaigns first and the others arrive as voters, not as
+	// rival candidates.
+	rank int
+
+	trace      *obs.Tracer
+	metrics    *obs.Registry
+	cElections *obs.Counter
+	promoted   *area.Controller
+	syncCount  int64
 
 	loop *node.Loop
 }
 
-// New validates the config and builds a backup.
-func New(cfg Config) (*Backup, error) {
+// Backup is the historical name for a Replica, kept for the passive
+// single-backup reading of §IV-C.
+type Backup = Replica
+
+// New validates the config and builds a replica.
+func New(cfg Config) (*Replica, error) {
 	if cfg.ID == "" || cfg.Transport == nil || cfg.Keys == nil {
 		return nil, fmt.Errorf("replica: ID, Transport, and Keys are required")
 	}
 	if cfg.PrimaryID == "" || cfg.PrimaryPub.IsZero() {
 		return nil, fmt.Errorf("replica: PrimaryID and PrimaryPub are required")
 	}
-	if cfg.HeartbeatEvery <= 0 {
-		return nil, fmt.Errorf("replica: HeartbeatEvery must be positive")
+	for _, p := range cfg.Peers {
+		if p.ID == "" || p.Addr == "" || p.Pub.IsZero() {
+			return nil, fmt.Errorf("replica: peer %q needs ID, Addr, and Pub", p.ID)
+		}
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
@@ -106,191 +176,623 @@ func New(cfg Config) (*Backup, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	takeover := cfg.TakeoverAfter
-	if takeover == 0 {
-		takeover = DefaultTakeoverFactor * cfg.HeartbeatEvery
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = DefaultHeartbeatEvery
 	}
-	b := &Backup{
-		cfg:      cfg,
-		clk:      cfg.Clock,
-		takeover: takeover,
+	r := &Replica{
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		hbEvery:    cfg.HeartbeatEvery,
+		primaryID:  cfg.PrimaryID,
+		primaryPub: cfg.PrimaryPub,
 	}
-	b.trace = obs.NewTracer(cfg.ID, cfg.Clock, cfg.Observer)
-	b.loop = node.New(node.Config{
+	r.takeover = r.takeoverWindow()
+	for _, p := range cfg.Peers {
+		if p.ID > cfg.ID {
+			r.rank++
+		}
+	}
+	r.trace = obs.NewTracer(cfg.ID, cfg.Clock, cfg.Observer)
+	r.metrics = obs.NewRegistry(obs.L("node", cfg.ID))
+	r.cElections = r.metrics.Counter(obs.MetricElections, obs.HelpElections)
+	r.loop = node.New(node.Config{
 		Name:      cfg.ID,
 		Transport: cfg.Transport,
 		Clock:     cfg.Clock,
 		TickEvery: cfg.HeartbeatEvery,
-		OnFrame:   b.handleFrame,
-		OnTick:    b.tick,
+		OnFrame:   r.handleFrame,
+		OnTick:    r.tick,
 		Logf:      cfg.Logf,
 	})
-	return b, nil
+	return r, nil
 }
 
+// takeoverWindow computes the silence window from the current heartbeat
+// interval. Callers hold mu or own the replica single-threadedly.
+func (r *Replica) takeoverWindow() time.Duration {
+	if r.cfg.TakeoverAfter != 0 {
+		return r.cfg.TakeoverAfter
+	}
+	return DefaultTakeoverFactor * r.hbEvery
+}
+
+// quorum is the majority of the replica set (peers plus self).
+func (r *Replica) quorum() int { return (len(r.cfg.Peers)+1)/2 + 1 }
+
+// staggerLocked is the extra silence this replica waits beyond the
+// takeover window before campaigning, a quarter-window per bully rank.
+// Callers hold mu.
+func (r *Replica) staggerLocked() time.Duration {
+	return time.Duration(r.rank) * r.takeover / 4
+}
+
+// areaID returns the configured area, "" when unknown pre-sync.
+func (r *Replica) areaID() string { return r.cfg.ControllerConfig.AreaID }
+
 // Start launches the monitoring loop.
-func (b *Backup) Start() {
-	b.mu.Lock()
-	b.started = b.clk.Now()
-	b.mu.Unlock()
-	b.loop.Start()
+func (r *Replica) Start() {
+	r.mu.Lock()
+	r.started = r.clk.Now()
+	r.mu.Unlock()
+	r.loop.Start()
 }
 
 // Close stops the monitoring loop. A promoted controller keeps running;
 // the caller owns it via OnPromote or Promoted.
-func (b *Backup) Close() {
-	b.loop.Close()
+func (r *Replica) Close() {
+	r.loop.Close()
 }
 
-// Promoted returns the controller this backup promoted, if any.
-func (b *Backup) Promoted() (*area.Controller, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.promoted == nil {
+// Promoted returns the controller this replica promoted, if any.
+func (r *Replica) Promoted() (*area.Controller, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.promoted == nil {
 		return nil, ErrNotPromoted
 	}
-	return b.promoted, nil
+	return r.promoted, nil
 }
 
-// HasState reports whether at least one state snapshot has been absorbed.
-func (b *Backup) HasState() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.state != nil
+// HasState reports whether any replicated state has been absorbed —
+// a full snapshot or at least one journal record.
+func (r *Replica) HasState() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state != nil || r.nextLSN > 0
 }
 
-// SyncCount reports how many snapshots were absorbed.
-func (b *Backup) SyncCount() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.syncCount
+// SyncCount reports how many syncs (snapshots or segment pushes that
+// advanced the log) were absorbed.
+func (r *Replica) SyncCount() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.syncCount
 }
 
-// StateMembers reports how many members the latest absorbed snapshot
-// contains (zero when no snapshot has arrived).
-func (b *Backup) StateMembers() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state == nil {
+// AppliedLSN reports one past the last journal record absorbed (0 before
+// the first segment push).
+func (r *Replica) AppliedLSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextLSN
+}
+
+// StateMembers reports how many members the latest absorbed full
+// snapshot contains (zero in segment-sync mode, where membership is not
+// materialized until promotion).
+func (r *Replica) StateMembers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == nil {
 		return 0
 	}
-	return len(b.state.Members)
+	return len(r.state.Members)
 }
 
-// tick runs the heartbeat monitor (loop context). On takeover it asks the
-// loop to exit so the backup stops consuming the shared transport — every
-// subsequent frame then reaches the promoted controller.
-func (b *Backup) tick() {
-	ctrl := b.maybePromote()
-	if ctrl == nil {
+// Stats exposes the replica's metrics registry (elections won).
+func (r *Replica) Stats() *obs.Registry { return r.metrics }
+
+// positionLocked is the replica's durability position for candidate
+// ordering: the applied journal LSN, or the legacy snapshot sequence
+// when the primary replicates full states. Both are monotonic.
+func (r *Replica) positionLocked() uint64 {
+	if r.nextLSN > r.stateSeq {
+		return r.nextLSN
+	}
+	return r.stateSeq
+}
+
+// restorableLocked reports whether promotion has anything to restore.
+func (r *Replica) restorableLocked() bool {
+	return r.nextLSN > 0 || r.state != nil || r.cfg.ColdState != nil
+}
+
+// tick runs the heartbeat monitor and the election timer (loop context).
+func (r *Replica) tick() {
+	r.mu.Lock()
+	if r.promoted != nil {
+		r.mu.Unlock()
 		return
 	}
-	b.loop.Exit()
-	b.trace.Event(obs.ProtoFailover, b.cfg.PrimaryID, "promoted",
-		obs.String("backup", b.cfg.ID))
-	ctrl.Start()
-	ctrl.AnnounceFailover()
-	b.mu.Lock()
-	b.promoted = ctrl
-	b.mu.Unlock()
-	if b.cfg.OnPromote != nil {
-		b.cfg.OnPromote(ctrl)
+	now := r.clk.Now()
+	if r.electing {
+		retry := now.After(r.electionEnds)
+		r.mu.Unlock()
+		if retry {
+			// No quorum and no Coordinator inside the window: the peers
+			// we needed may themselves have been restarting. Re-campaign.
+			r.startElection("retry")
+		}
+		return
 	}
+	// With no heartbeat ever heard, silence runs from Start: a cold
+	// restore only fires after the primary had a full takeover window to
+	// show signs of life.
+	since := r.lastHB
+	if !r.hbSeen {
+		since = r.started
+	}
+	silence := now.Sub(since)
+	if silence <= r.takeover+r.staggerLocked() || now.Before(r.suppressUntil) || !r.restorableLocked() {
+		r.mu.Unlock()
+		return
+	}
+	primary := r.primaryID
+	r.mu.Unlock()
+	r.cfg.Logf("%s: primary %s silent for %v; starting election", r.cfg.ID, primary, silence)
+	r.startElection("silence")
 }
 
-func (b *Backup) handleFrame(f *wire.Frame) {
+// startElection opens (or re-opens) a candidacy: broadcast Election to
+// every peer and wait for a quorum of acks. With no peers the quorum is
+// one and the candidacy wins immediately — the passive-backup case.
+func (r *Replica) startElection(reason string) {
+	r.mu.Lock()
+	if r.promoted != nil {
+		r.mu.Unlock()
+		return
+	}
+	now := r.clk.Now()
+	// A campaign is itself a vote: self-pledge through the same
+	// single-vote window the stand-down path uses, so a replica that
+	// already backed a peer cannot turn around and assemble a rival
+	// quorum (e.g. when a stale third candidate's Election trips the
+	// bully branch after we acked the eventual winner).
+	if r.votedFor != "" && r.votedFor != r.cfg.ID && now.Before(r.votedUntil) {
+		r.mu.Unlock()
+		return
+	}
+	r.votedFor = r.cfg.ID
+	r.votedUntil = now.Add(r.takeover)
+	r.electing = true
+	r.votes = make(map[string]bool)
+	r.electionEnds = now.Add(r.takeover + r.staggerLocked())
+	lsn := r.positionLocked()
+	primary := r.primaryID
+	r.mu.Unlock()
+	r.trace.Event(obs.ProtoElection, primary, "candidate",
+		obs.String("reason", reason), obs.Uint("lsn", lsn))
+	for _, p := range r.cfg.Peers {
+		r.sendPlain(p.Addr, wire.KindElection, wire.Election{
+			AreaID: r.areaID(), CandidateID: r.cfg.ID, LSN: lsn,
+		})
+	}
+	r.maybeWin()
+}
+
+func (r *Replica) handleFrame(f *wire.Frame) {
 	switch f.Kind {
 	case wire.KindReplicaSync:
-		b.handleSync(f)
+		r.handleSync(f)
 	case wire.KindReplicaHeartbeat:
-		b.handleHeartbeat(f)
+		r.handleHeartbeat(f)
+	case wire.KindSegmentPush:
+		r.handleSegmentPush(f)
+	case wire.KindElection:
+		r.handleElection(f)
+	case wire.KindElectionOK:
+		r.handleElectionOK(f)
+	case wire.KindCoordinator:
+		r.handleCoordinator(f)
 	default:
 		// Frames for the promoted controller arrive on its own
 		// transport; anything else here is noise.
 	}
 }
 
-func (b *Backup) handleSync(f *wire.Frame) {
-	if err := b.cfg.PrimaryPub.Verify(f.Body, f.Sig); err != nil {
-		b.cfg.Logf("%s: replica sync with bad signature dropped", b.cfg.ID)
+// peer finds a configured peer by ID.
+func (r *Replica) peer(id string) (Peer, bool) {
+	for _, p := range r.cfg.Peers {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return Peer{}, false
+}
+
+// verifyPrimary checks a frame signature against the current primary key.
+func (r *Replica) verifyPrimary(f *wire.Frame) bool {
+	r.mu.Lock()
+	pub := r.primaryPub
+	r.mu.Unlock()
+	return pub.Verify(f.Body, f.Sig) == nil
+}
+
+// handleSync absorbs a legacy full-state snapshot from an unjournaled
+// primary.
+func (r *Replica) handleSync(f *wire.Frame) {
+	if !r.verifyPrimary(f) {
+		r.cfg.Logf("%s: replica sync with bad signature dropped", r.cfg.ID)
 		return
 	}
 	var sync wire.ReplicaSync
-	if err := wire.OpenBody(b.cfg.Keys, f.Body, &sync); err != nil {
-		b.cfg.Logf("%s: replica sync body: %v", b.cfg.ID, err)
+	if err := wire.OpenBody(r.cfg.Keys, f.Body, &sync); err != nil {
+		r.cfg.Logf("%s: replica sync body: %v", r.cfg.ID, err)
 		return
 	}
 	st, err := area.DecodeState(sync.State)
 	if err != nil {
-		b.cfg.Logf("%s: replica state: %v", b.cfg.ID, err)
+		r.cfg.Logf("%s: replica state: %v", r.cfg.ID, err)
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state != nil && sync.Seq <= b.stateSeq {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != nil && sync.Seq <= r.stateSeq {
 		return // stale or duplicate snapshot
 	}
-	b.state = st
-	b.stateSeq = sync.Seq
-	b.syncCount++
-	b.lastHB = b.clk.Now()
-	b.hbSeen = true
+	r.state = st
+	r.stateSeq = sync.Seq
+	r.syncCount++
+	r.lastHB = r.clk.Now()
+	r.hbSeen = true
+	r.primaryAddr = f.From
 }
 
-func (b *Backup) handleHeartbeat(f *wire.Frame) {
-	if err := b.cfg.PrimaryPub.Verify(f.Body, f.Sig); err != nil {
+// handleHeartbeat notes primary liveness and pulls the journal tail when
+// the advertised position is ahead of ours.
+func (r *Replica) handleHeartbeat(f *wire.Frame) {
+	if !r.verifyPrimary(f) {
 		return
 	}
 	var hb wire.ReplicaHeartbeat
 	if err := wire.DecodePlain(f.Body, &hb); err != nil {
 		return
 	}
-	b.mu.Lock()
-	b.lastHB = b.clk.Now()
-	b.hbSeen = true
-	b.mu.Unlock()
+	r.mu.Lock()
+	now := r.clk.Now()
+	r.lastHB = now
+	r.hbSeen = true
+	r.primaryAddr = f.From
+	// The heartbeat advertises the primary's last position (journal LSN
+	// or legacy state sequence); pull when it passes what we hold. On a
+	// legacy primary the pull is answered with a full ReplicaSync, which
+	// repairs a lost snapshot push.
+	applied := r.stateSeq
+	if r.nextLSN > 0 && r.nextLSN-1 > applied {
+		applied = r.nextLSN - 1
+	}
+	var fromLSN uint64
+	if hb.Seq > applied && now.Sub(r.lastPull) >= r.hbEvery {
+		r.lastPull = now
+		fromLSN = r.nextLSN
+		if fromLSN == 0 {
+			fromLSN = 1
+		}
+	}
+	r.mu.Unlock()
+	if fromLSN > 0 {
+		r.sendPlain(f.From, wire.KindSegmentPull, wire.SegmentPull{
+			AreaID: hb.AreaID, FromLSN: fromLSN,
+		})
+	}
 }
 
-// maybePromote builds (but does not start) the replacement controller
-// when the primary has been silent past the takeover window.
-func (b *Backup) maybePromote() *area.Controller {
-	b.mu.Lock()
-	st := b.state
-	if st == nil {
-		st = b.cfg.ColdState
+// handleSegmentPush absorbs journal records (and possibly a baseline
+// snapshot) shipped by the primary, and adopts the heartbeat cadence the
+// stream carries — the config value is only a bootstrap.
+func (r *Replica) handleSegmentPush(f *wire.Frame) {
+	if !r.verifyPrimary(f) {
+		r.cfg.Logf("%s: segment push with bad signature dropped", r.cfg.ID)
+		return
 	}
-	if b.promoted != nil || st == nil {
-		b.mu.Unlock()
-		return nil
+	var push wire.SegmentPush
+	if err := wire.OpenBody(r.cfg.Keys, f.Body, &push); err != nil {
+		r.cfg.Logf("%s: segment push body: %v", r.cfg.ID, err)
+		return
 	}
-	// With no heartbeat ever heard, silence runs from Start: a cold
-	// restore only fires after the primary had a full takeover window to
-	// show signs of life.
-	since := b.lastHB
-	if !b.hbSeen {
-		since = b.started
+	r.mu.Lock()
+	now := r.clk.Now()
+	r.lastHB = now
+	r.hbSeen = true
+	r.primaryAddr = f.From
+	if push.HeartbeatEvery > 0 && push.HeartbeatEvery != r.hbEvery {
+		r.hbEvery = push.HeartbeatEvery
+		r.takeover = r.takeoverWindow()
 	}
-	silence := b.clk.Now().Sub(since)
-	if silence <= b.takeover {
-		b.mu.Unlock()
-		return nil
+	need := r.nextLSN
+	if need == 0 {
+		need = 1
 	}
-	b.mu.Unlock()
+	changed := false
+	if push.Snapshot != nil && push.SnapshotLSN+1 > need {
+		r.base = push.Snapshot
+		r.baseLSN = push.SnapshotLSN
+		r.recs = nil
+		need = push.SnapshotLSN + 1
+		changed = true
+	}
+	if push.FromLSN > need {
+		// A gap: this push starts past what we hold. Re-pull from our
+		// actual position; the primary will include a baseline if the
+		// tail below it was compacted away.
+		r.lastPull = now
+		r.mu.Unlock()
+		r.sendPlain(f.From, wire.KindSegmentPull, wire.SegmentPull{
+			AreaID: push.AreaID, FromLSN: need,
+		})
+		return
+	}
+	if push.NextLSN > need {
+		skip := need - push.FromLSN
+		r.recs = append(r.recs, push.Records[skip:]...)
+		need = push.NextLSN
+		changed = true
+	}
+	if changed {
+		r.nextLSN = need
+		r.syncCount++
+	}
+	r.mu.Unlock()
+}
 
-	b.cfg.Logf("%s: primary %s silent for %v; promoting", b.cfg.ID, b.cfg.PrimaryID, silence)
-	cfg := b.cfg.ControllerConfig
-	cfg.ID = b.cfg.ID
-	cfg.Transport = b.cfg.Transport
-	cfg.Keys = b.cfg.Keys
-	cfg.Clock = b.cfg.Clock
-	cfg.Logf = b.cfg.Logf
-	if cfg.Observer == nil {
-		cfg.Observer = b.cfg.Observer
+// handleElection is the voter side: acknowledge a candidate at least as
+// durable as ourselves; bully an inferior one by campaigning.
+func (r *Replica) handleElection(f *wire.Frame) {
+	var e wire.Election
+	if err := wire.DecodePlain(f.Body, &e); err != nil {
+		return
 	}
-	ctrl, err := area.NewFromState(cfg, st)
+	p, ok := r.peer(e.CandidateID)
+	if !ok {
+		r.cfg.Logf("%s: election from unknown candidate %q", r.cfg.ID, e.CandidateID)
+		return
+	}
+	if p.Pub.Verify(f.Body, f.Sig) != nil {
+		return
+	}
+	if id := r.areaID(); id != "" && e.AreaID != "" && e.AreaID != id {
+		return
+	}
+	r.mu.Lock()
+	if r.promoted != nil {
+		r.mu.Unlock()
+		return
+	}
+	mine := r.positionLocked()
+	if e.LSN > mine || (e.LSN == mine && e.CandidateID >= r.cfg.ID) {
+		// The candidate is at least as durable: stand down and let it
+		// collect the quorum. If no Coordinator emerges within the
+		// suppression window, our own silence timer re-fires.
+		//
+		// One vote per window: two candidates racing the same silence must
+		// never both assemble a quorum through a shared voter, so once we
+		// back a candidate (ourselves included — campaigning self-pledges)
+		// we only re-ack that same candidate until the window expires. The
+		// lone exception is a candidate holding a strictly longer log than
+		// ours: refusing it could wedge a two-replica set whose weaker
+		// member self-pledged first.
+		now := r.clk.Now()
+		if r.votedFor != "" && now.Before(r.votedUntil) && r.votedFor != e.CandidateID && e.LSN <= mine {
+			r.mu.Unlock()
+			return
+		}
+		r.votedFor = e.CandidateID
+		r.votedUntil = now.Add(r.takeover)
+		r.electing = false
+		r.suppressUntil = now.Add(r.takeover)
+		r.mu.Unlock()
+		r.trace.Event(obs.ProtoElection, e.CandidateID, "ack",
+			obs.Uint("candidate_lsn", e.LSN), obs.Uint("own_lsn", mine))
+		r.sendPlain(p.Addr, wire.KindElectionOK, wire.ElectionOK{
+			AreaID: e.AreaID, VoterID: r.cfg.ID, LSN: mine,
+		})
+		return
+	}
+	// We hold a longer log than the candidate: bully it.
+	alreadyElecting := r.electing
+	restorable := r.restorableLocked()
+	r.mu.Unlock()
+	if !alreadyElecting && restorable {
+		r.startElection("bully")
+	}
+}
+
+// handleElectionOK is the candidate side: count the vote and promote at
+// quorum.
+func (r *Replica) handleElectionOK(f *wire.Frame) {
+	var ok wire.ElectionOK
+	if err := wire.DecodePlain(f.Body, &ok); err != nil {
+		return
+	}
+	p, found := r.peer(ok.VoterID)
+	if !found || p.Pub.Verify(f.Body, f.Sig) != nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.electing || r.promoted != nil {
+		r.mu.Unlock()
+		return
+	}
+	r.votes[ok.VoterID] = true
+	r.mu.Unlock()
+	r.maybeWin()
+}
+
+// handleCoordinator is the loser side: adopt the winner as the new
+// primary and, when we are the member-advertised replica, relay the
+// takeover notice to the area.
+func (r *Replica) handleCoordinator(f *wire.Frame) {
+	var co wire.Coordinator
+	if err := wire.DecodePlain(f.Body, &co); err != nil {
+		return
+	}
+	p, found := r.peer(co.LeaderID)
+	if !found || p.Pub.Verify(f.Body, f.Sig) != nil {
+		return
+	}
+	pub, err := crypt.ParsePublicKey(co.PubDER)
 	if err != nil {
-		b.cfg.Logf("%s: promotion failed: %v", b.cfg.ID, err)
+		return
+	}
+	r.mu.Lock()
+	if r.promoted != nil {
+		r.mu.Unlock()
+		return
+	}
+	r.electing = false
+	r.suppressUntil = time.Time{}
+	r.votedFor = ""
+	r.primaryID = co.LeaderID
+	r.primaryPub = pub
+	r.primaryAddr = co.Addr
+	r.lastHB = r.clk.Now()
+	r.hbSeen = true
+	announcer := r.cfg.Announcer
+	r.mu.Unlock()
+	r.trace.Event(obs.ProtoElection, co.LeaderID, "coordinator",
+		obs.String("voter", r.cfg.ID))
+	if announcer && co.LeaderID != r.cfg.ID {
+		// Members verify ACFailover signatures against OUR key (it was
+		// advertised in their welcomes); vouch for the winner.
+		fo := wire.ACFailover{
+			AreaID: co.AreaID, NewAddr: co.Addr, NewPub: co.PubDER, Epoch: co.Epoch,
+		}
+		for _, addr := range co.MemberAddrs {
+			r.sendPlain(addr, wire.KindACFailover, fo)
+		}
+	}
+}
+
+// maybeWin promotes when the candidacy holds a quorum of the replica set.
+func (r *Replica) maybeWin() {
+	r.mu.Lock()
+	if !r.electing || r.promoted != nil || len(r.votes)+1 < r.quorum() {
+		r.mu.Unlock()
+		return
+	}
+	r.electing = false
+	votes := len(r.votes) + 1
+	r.mu.Unlock()
+	r.win(votes)
+}
+
+// win rebuilds the controller from the replicated journal (or state) and
+// takes over the area.
+func (r *Replica) win(votes int) {
+	ctrl := r.buildController()
+	if ctrl == nil {
+		r.mu.Lock()
+		r.suppressUntil = r.clk.Now().Add(r.takeover)
+		r.mu.Unlock()
+		return
+	}
+	memberAddrs := ctrl.BootMemberAddrs()
+	epoch := ctrl.BootEpoch()
+
+	// Exit the loop so the replica stops consuming the shared transport —
+	// every subsequent frame then reaches the promoted controller.
+	r.loop.Exit()
+	r.mu.Lock()
+	lsn := r.positionLocked()
+	primary := r.primaryID
+	r.mu.Unlock()
+	r.cElections.Inc()
+	r.trace.Event(obs.ProtoElection, primary, "won",
+		obs.Int("votes", int64(votes)), obs.Uint("lsn", lsn))
+	r.trace.Event(obs.ProtoFailover, primary, "promoted",
+		obs.String("backup", r.cfg.ID))
+
+	co := wire.Coordinator{
+		AreaID:      r.areaID(),
+		LeaderID:    r.cfg.ID,
+		Addr:        r.cfg.Transport.Addr(),
+		PubDER:      r.cfg.Keys.Public().Marshal(),
+		Epoch:       epoch,
+		MemberAddrs: memberAddrs,
+	}
+	for _, p := range r.cfg.Peers {
+		r.sendPlain(p.Addr, wire.KindCoordinator, co)
+	}
+
+	ctrl.Start()
+	ctrl.AnnounceFailover()
+	r.mu.Lock()
+	r.promoted = ctrl
+	r.mu.Unlock()
+	if r.cfg.OnPromote != nil {
+		r.cfg.OnPromote(ctrl)
+	}
+}
+
+// buildController restores the area controller from the freshest
+// replicated source: the accumulated journal first (byte-identical tree
+// keys), then the last full snapshot, then the cold state.
+func (r *Replica) buildController() *area.Controller {
+	r.mu.Lock()
+	cfg := r.cfg.ControllerConfig
+	cfg.ID = r.cfg.ID
+	cfg.Transport = r.cfg.Transport
+	cfg.Keys = r.cfg.Keys
+	cfg.Clock = r.cfg.Clock
+	cfg.Logf = r.cfg.Logf
+	if cfg.Observer == nil {
+		cfg.Observer = r.cfg.Observer
+	}
+	var (
+		ctrl *area.Controller
+		err  error
+	)
+	if r.nextLSN > 0 {
+		rec := &journal.Recovery{
+			Snapshot:    r.base,
+			SnapshotLSN: r.baseLSN,
+			Records:     r.recs,
+		}
+		r.mu.Unlock()
+		ctrl, err = area.NewFromJournal(cfg, rec)
+	} else {
+		st := r.state
+		if st == nil {
+			st = r.cfg.ColdState
+		}
+		r.mu.Unlock()
+		if st == nil {
+			r.cfg.Logf("%s: election won with nothing to restore", r.cfg.ID)
+			return nil
+		}
+		ctrl, err = area.NewFromState(cfg, st)
+	}
+	if err != nil {
+		r.cfg.Logf("%s: promotion failed: %v", r.cfg.ID, err)
 		return nil
 	}
 	return ctrl
+}
+
+// sendPlain sends a signed plain-body frame; election traffic carries no
+// secrets, and signatures are what peers and members verify.
+func (r *Replica) sendPlain(addr string, kind wire.Kind, body wire.Marshaler) {
+	blob, err := wire.PlainBody(body)
+	if err != nil {
+		return
+	}
+	f := &wire.Frame{
+		Kind: kind,
+		From: r.cfg.Transport.Addr(),
+		Body: blob,
+		Sig:  r.cfg.Keys.Sign(blob),
+	}
+	if err := r.cfg.Transport.Send(addr, f); err != nil {
+		r.cfg.Logf("%s: send %v to %s: %v", r.cfg.ID, kind, addr, err)
+	}
 }

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"mykil/internal/area"
 	"mykil/internal/crypt"
 	"mykil/internal/keytree"
+	"mykil/internal/obs"
 	"mykil/internal/simnet"
 	"mykil/internal/transport"
 	"mykil/internal/wire"
@@ -167,8 +169,18 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer func() { _ = tr.Close() }()
-	if _, err := New(Config{ID: "b", Transport: tr, Keys: kp, PrimaryID: "p", PrimaryPub: kp.Public()}); err == nil {
-		t.Error("config without HeartbeatEvery accepted")
+	// HeartbeatEvery is only a bootstrap value now — the primary carries
+	// the authoritative cadence in every segment push — so omitting it
+	// must default rather than fail.
+	r, err := New(Config{ID: "b", Transport: tr, Keys: kp, PrimaryID: "p", PrimaryPub: kp.Public()})
+	if err != nil {
+		t.Errorf("config without HeartbeatEvery rejected: %v", err)
+	} else if r.hbEvery != DefaultHeartbeatEvery {
+		t.Errorf("hbEvery = %v, want %v", r.hbEvery, DefaultHeartbeatEvery)
+	}
+	if _, err := New(Config{ID: "b", Transport: tr, Keys: kp, PrimaryID: "p", PrimaryPub: kp.Public(),
+		Peers: []Peer{{ID: "x"}}}); err == nil {
+		t.Error("peer without Addr/Pub accepted")
 	}
 }
 
@@ -280,5 +292,213 @@ func TestNoPromotionBeforeFirstContact(t *testing.T) {
 	time.Sleep(300 * time.Millisecond)
 	if _, err := r.backup.Promoted(); !errors.Is(err, ErrNotPromoted) {
 		t.Error("promoted before first primary contact")
+	}
+}
+
+// electionRig hosts n replicas of one area plus a hand-driven primary
+// endpoint, for exercising the quorum election layer directly.
+type electionRig struct {
+	t       *testing.T
+	net     *simnet.Network
+	primary transport.Transport
+	priKeys *crypt.KeyPair
+	reps    []*Replica
+	keys    []*crypt.KeyPair
+}
+
+func newElectionRig(t *testing.T, n int, takeover time.Duration, mutate func(i int, c *Config)) *electionRig {
+	t.Helper()
+	r := &electionRig{t: t, net: simnet.New(simnet.Config{}), priKeys: keyPair(t)}
+	var err error
+	r.primary, err = transport.NewSim(r.net, "primary")
+	if err != nil {
+		t.Fatalf("primary transport: %v", err)
+	}
+	peers := make([]Peer, n)
+	trs := make([]transport.Transport, n)
+	for i := 0; i < n; i++ {
+		r.keys = append(r.keys, keyPair(t))
+		id := fmt.Sprintf("r%d", i)
+		trs[i], err = transport.NewSim(r.net, id)
+		if err != nil {
+			t.Fatalf("transport %s: %v", id, err)
+		}
+		peers[i] = Peer{ID: id, Addr: id, Pub: r.keys[i].Public()}
+	}
+	kShared := crypt.NewSymKey()
+	for i := 0; i < n; i++ {
+		others := make([]Peer, 0, n-1)
+		survivors := make([]area.PeerInfo, 0, n-1)
+		for o := 0; o < n; o++ {
+			if o != i {
+				others = append(others, peers[o])
+				survivors = append(survivors, area.PeerInfo{ID: peers[o].ID, Addr: peers[o].Addr, Pub: peers[o].Pub})
+			}
+		}
+		cfg := Config{
+			ID:             peers[i].ID,
+			Transport:      trs[i],
+			Keys:           r.keys[i],
+			PrimaryID:      "primary",
+			PrimaryPub:     r.priKeys.Public(),
+			HeartbeatEvery: 20 * time.Millisecond,
+			TakeoverAfter:  takeover,
+			Peers:          others,
+			Announcer:      i == 0,
+			// A winner must keep heartbeating the surviving replicas, or
+			// their silence timers fire a second election against it.
+			ControllerConfig: area.Config{
+				AreaID:         "area-0",
+				KShared:        kShared,
+				Replicas:       survivors,
+				HeartbeatEvery: 20 * time.Millisecond,
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		rep, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New r%d: %v", i, err)
+		}
+		r.reps = append(r.reps, rep)
+		rep.Start()
+	}
+	t.Cleanup(func() {
+		for _, rep := range r.reps {
+			rep.Close()
+			if ctrl, err := rep.Promoted(); err == nil {
+				ctrl.Close()
+			}
+		}
+		for _, tr := range trs {
+			_ = tr.Close()
+		}
+		_ = r.primary.Close()
+		r.net.Close()
+	})
+	return r
+}
+
+// syncTo ships a signed, sealed state snapshot to one replica.
+func (r *electionRig) syncTo(i int, st *area.State, seq uint64) {
+	r.t.Helper()
+	blob, err := area.EncodeState(st)
+	if err != nil {
+		r.t.Fatalf("EncodeState: %v", err)
+	}
+	body, err := wire.SealBody(r.keys[i].Public(), wire.ReplicaSync{
+		AreaID: st.AreaID, Seq: seq, State: blob,
+	})
+	if err != nil {
+		r.t.Fatalf("SealBody: %v", err)
+	}
+	f := &wire.Frame{Kind: wire.KindReplicaSync, From: "primary", Body: body, Sig: r.priKeys.Sign(body)}
+	if err := r.primary.Send(r.reps[i].cfg.ID, f); err != nil {
+		r.t.Fatalf("Send: %v", err)
+	}
+}
+
+// promotedCount reports how many replicas promoted a controller.
+func (r *electionRig) promotedCount() int {
+	n := 0
+	for _, rep := range r.reps {
+		if _, err := rep.Promoted(); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestElectionSingleWinnerAtEqualLSN: three equally caught-up replicas
+// lose their primary; exactly one must assemble a quorum and promote
+// (the rank stagger biases the outcome toward the highest candidate ID,
+// but the hard guarantee under arbitrary scheduling is single-winner),
+// and the losers must re-point their monitoring at the winner.
+func TestElectionSingleWinnerAtEqualLSN(t *testing.T) {
+	r := newElectionRig(t, 3, 60*time.Millisecond, nil)
+	st := sampleState(t, keyPair(t))
+	for i := 0; i < 3; i++ {
+		r.syncTo(i, st, 1)
+	}
+	for i := 0; i < 3; i++ {
+		rep := r.reps[i]
+		waitFor(t, "sync absorption", 5*time.Second, rep.HasState)
+	}
+	// Primary goes silent; quorum election follows.
+	waitFor(t, "election winner", 10*time.Second, func() bool {
+		return r.promotedCount() >= 1
+	})
+	// Give a racing second candidacy every chance to (wrongly) land,
+	// then check the winner's Coordinator suppressed the losers.
+	time.Sleep(150 * time.Millisecond)
+	if got := r.promotedCount(); got != 1 {
+		var who []string
+		for _, rep := range r.reps {
+			if _, err := rep.Promoted(); err == nil {
+				who = append(who, rep.cfg.ID)
+			}
+		}
+		t.Fatalf("%d replicas promoted (%v), want exactly 1", got, who)
+	}
+	var winner *Replica
+	for _, rep := range r.reps {
+		if _, err := rep.Promoted(); err == nil {
+			winner = rep
+		}
+	}
+	ctrl, _ := winner.Promoted()
+	if !ctrl.HasMember("m1") {
+		t.Error("winner lost the replicated member")
+	}
+	if got := winner.Stats().Value(obs.MetricElections); got != 1 {
+		t.Errorf("%s = %d, want 1", obs.MetricElections, got)
+	}
+	for _, rep := range r.reps {
+		if rep == winner {
+			continue
+		}
+		rep.mu.Lock()
+		adopted := rep.primaryID
+		rep.mu.Unlock()
+		if adopted != winner.cfg.ID {
+			t.Errorf("%s still watches %q, want winner %q", rep.cfg.ID, adopted, winner.cfg.ID)
+		}
+	}
+}
+
+// TestElectionPrefersHigherLSN: a replica holding a longer replicated
+// log must beat a peer with a higher ID but a shorter log.
+func TestElectionPrefersHigherLSN(t *testing.T) {
+	r := newElectionRig(t, 2, 60*time.Millisecond, nil)
+	st := sampleState(t, keyPair(t))
+	r.syncTo(0, st, 7) // r0 is further ahead...
+	r.syncTo(1, st, 3) // ...than the higher-ID r1
+	waitFor(t, "syncs", 5*time.Second, func() bool {
+		return r.reps[0].HasState() && r.reps[1].HasState()
+	})
+	waitFor(t, "r0 wins on LSN", 10*time.Second, func() bool {
+		_, err := r.reps[0].Promoted()
+		return err == nil
+	})
+	time.Sleep(150 * time.Millisecond)
+	if _, err := r.reps[1].Promoted(); err == nil {
+		t.Error("shorter-log replica promoted too")
+	}
+}
+
+// TestNoQuorumNoPromotion: a candidate that cannot reach a quorum of its
+// peers must never promote, however long the primary stays silent.
+func TestNoQuorumNoPromotion(t *testing.T) {
+	r := newElectionRig(t, 3, 60*time.Millisecond, nil)
+	st := sampleState(t, keyPair(t))
+	r.syncTo(0, st, 1)
+	waitFor(t, "sync", 5*time.Second, r.reps[0].HasState)
+	// Kill both peers: r0 can campaign but never collect a second vote.
+	r.net.Crash("r1")
+	r.net.Crash("r2")
+	time.Sleep(400 * time.Millisecond)
+	if _, err := r.reps[0].Promoted(); err == nil {
+		t.Error("promoted without a quorum")
 	}
 }

@@ -54,6 +54,12 @@ var bodyFactories = map[Kind]func() Body{
 	KindReplicaSync:      func() Body { return new(ReplicaSync) },
 	KindReplicaHeartbeat: func() Body { return new(ReplicaHeartbeat) },
 	KindACFailover:       func() Body { return new(ACFailover) },
+	KindElection:         func() Body { return new(Election) },
+	KindElectionOK:       func() Body { return new(ElectionOK) },
+	KindCoordinator:      func() Body { return new(Coordinator) },
+	KindSegmentPull:      func() Body { return new(SegmentPull) },
+	KindSegmentPush:      func() Body { return new(SegmentPush) },
+	KindAreaReassign:     func() Body { return new(AreaReassign) },
 }
 
 // NewBody returns an empty body value for the given kind, or false for
@@ -552,5 +558,138 @@ func (m *ACFailover) ReadWire(r *codec.Reader) error {
 	m.NewAddr = r.String()
 	m.NewPub = r.Bytes()
 	m.Epoch = r.Uvarint()
+	return r.Err()
+}
+
+// ---- Quorum leader election and segment replication ----
+
+// AppendWire implements Marshaler.
+func (m Election) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.CandidateID)
+	return codec.AppendUvarint(b, m.LSN)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *Election) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.CandidateID = r.String()
+	m.LSN = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m ElectionOK) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.VoterID)
+	return codec.AppendUvarint(b, m.LSN)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *ElectionOK) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.VoterID = r.String()
+	m.LSN = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m Coordinator) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.LeaderID)
+	b = codec.AppendString(b, m.Addr)
+	b = codec.AppendBytes(b, m.PubDER)
+	b = codec.AppendUvarint(b, m.Epoch)
+	b = codec.AppendUvarint(b, uint64(len(m.MemberAddrs)))
+	for _, a := range m.MemberAddrs {
+		b = codec.AppendString(b, a)
+	}
+	return b
+}
+
+// ReadWire implements Unmarshaler.
+func (m *Coordinator) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.LeaderID = r.String()
+	m.Addr = r.String()
+	m.PubDER = r.Bytes()
+	m.Epoch = r.Uvarint()
+	// An address is at minimum its own length prefix.
+	if n := r.Count(1); n > 0 {
+		m.MemberAddrs = make([]string, n)
+		for i := range m.MemberAddrs {
+			m.MemberAddrs[i] = r.String()
+		}
+	} else {
+		m.MemberAddrs = nil
+	}
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m SegmentPull) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	return codec.AppendUvarint(b, m.FromLSN)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *SegmentPull) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.FromLSN = r.Uvarint()
+	return r.Err()
+}
+
+// AppendWire implements Marshaler.
+func (m SegmentPush) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendUvarint(b, m.FromLSN)
+	b = codec.AppendUvarint(b, m.NextLSN)
+	b = codec.AppendUvarint(b, m.SnapshotLSN)
+	b = codec.AppendBytes(b, m.Snapshot)
+	b = codec.AppendUvarint(b, uint64(len(m.Records)))
+	for _, rec := range m.Records {
+		b = codec.AppendBytes(b, rec)
+	}
+	return codec.AppendVarint(b, int64(m.HeartbeatEvery))
+}
+
+// ReadWire implements Unmarshaler.
+func (m *SegmentPush) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.FromLSN = r.Uvarint()
+	m.NextLSN = r.Uvarint()
+	m.SnapshotLSN = r.Uvarint()
+	m.Snapshot = r.Bytes()
+	// A record is at minimum its own length prefix.
+	if n := r.Count(1); n > 0 {
+		m.Records = make([][]byte, n)
+		for i := range m.Records {
+			m.Records[i] = r.Bytes()
+		}
+	} else {
+		m.Records = nil
+	}
+	m.HeartbeatEvery = time.Duration(r.Varint())
+	return r.Err()
+}
+
+// ---- Dynamic area topology ----
+
+// AppendWire implements Marshaler.
+func (m AreaReassign) AppendWire(b []byte) []byte {
+	b = codec.AppendString(b, m.AreaID)
+	b = codec.AppendString(b, m.TargetID)
+	b = codec.AppendString(b, m.TargetAddr)
+	b = codec.AppendBytes(b, m.TargetPub)
+	return codec.AppendString(b, m.Reason)
+}
+
+// ReadWire implements Unmarshaler.
+func (m *AreaReassign) ReadWire(r *codec.Reader) error {
+	m.AreaID = r.String()
+	m.TargetID = r.String()
+	m.TargetAddr = r.String()
+	m.TargetPub = r.Bytes()
+	m.Reason = r.String()
 	return r.Err()
 }

@@ -95,6 +95,18 @@ func goldenBodies() map[Kind]Marshaler {
 		KindReplicaHeartbeat: ReplicaHeartbeat{AreaID: "area-0", Seq: 20},
 		KindACFailover: ACFailover{AreaID: "area-0", NewAddr: "10.0.0.5:7000",
 			NewPub: []byte{0xC3, 0xC4}, Epoch: 21},
+		KindElection:   Election{AreaID: "area-0", CandidateID: "backup-0-1", LSN: 22},
+		KindElectionOK: ElectionOK{AreaID: "area-0", VoterID: "backup-0-2", LSN: 23},
+		KindCoordinator: Coordinator{AreaID: "area-0", LeaderID: "backup-0-1",
+			Addr: "10.0.0.6:7000", PubDER: []byte{0xC5, 0xC6}, Epoch: 24,
+			MemberAddrs: []string{"10.0.0.9:1", "10.0.0.9:2"}},
+		KindSegmentPull: SegmentPull{AreaID: "area-0", FromLSN: 25},
+		KindSegmentPush: SegmentPush{AreaID: "area-0", FromLSN: 26, NextLSN: 29,
+			SnapshotLSN: 25, Snapshot: []byte{0x5D, 0x5E},
+			Records:        [][]byte{{0x01, 0x02}, {0x03}},
+			HeartbeatEvery: 250 * time.Millisecond},
+		KindAreaReassign: AreaReassign{AreaID: "area-0", TargetID: "ac-1s",
+			TargetAddr: "10.0.0.7:7000", TargetPub: []byte{0xC7}, Reason: "split"},
 	}
 }
 
@@ -139,7 +151,7 @@ func readGoldens(t *testing.T) map[string]string {
 func TestGoldenFrames(t *testing.T) {
 	bodies := goldenBodies()
 	// Every kind must have a fixture; a new kind without one fails here.
-	for k := KindJoinRequest; k <= KindACFailover; k++ {
+	for k := KindJoinRequest; k <= KindAreaReassign; k++ {
 		if _, ok := bodies[k]; !ok {
 			t.Errorf("kind %v has no golden fixture", k)
 		}
@@ -150,7 +162,7 @@ func TestGoldenFrames(t *testing.T) {
 		fmt.Fprintf(&buf, "# Golden wire encodings, one frame per kind: <KindName> <hex(Frame.Encode)>.\n")
 		fmt.Fprintf(&buf, "# Regenerate ONLY on an intentional format change:\n")
 		fmt.Fprintf(&buf, "#   go test ./internal/wire -run TestGoldenFrames -update-golden\n")
-		for k := KindJoinRequest; k <= KindACFailover; k++ {
+		for k := KindJoinRequest; k <= KindAreaReassign; k++ {
 			f, err := goldenFrame(k, bodies[k])
 			if err != nil {
 				t.Fatalf("%v: %v", k, err)
@@ -172,7 +184,7 @@ func TestGoldenFrames(t *testing.T) {
 	}
 
 	goldens := readGoldens(t)
-	for k := KindJoinRequest; k <= KindACFailover; k++ {
+	for k := KindJoinRequest; k <= KindAreaReassign; k++ {
 		body := bodies[k]
 		f, err := goldenFrame(k, body)
 		if err != nil {

@@ -93,6 +93,16 @@ const (
 	KindReplicaSync      // primary -> backup state snapshot
 	KindReplicaHeartbeat // primary -> backup liveness
 	KindACFailover       // backup -> area on takeover
+
+	// Quorum leader election and segment replication.
+	KindElection    // candidate replica -> replica set
+	KindElectionOK  // voter -> candidate acknowledgement
+	KindCoordinator // winner -> replica set
+	KindSegmentPull // replica -> primary: journal records wanted
+	KindSegmentPush // primary -> replica: journal segment records
+
+	// Dynamic area topology (split/merge).
+	KindAreaReassign // AC -> member: rejoin this sibling controller
 )
 
 var kindNames = map[Kind]string{
@@ -124,6 +134,12 @@ var kindNames = map[Kind]string{
 	KindReplicaSync:      "ReplicaSync",
 	KindReplicaHeartbeat: "ReplicaHeartbeat",
 	KindACFailover:       "ACFailover",
+	KindElection:         "Election",
+	KindElectionOK:       "ElectionOK",
+	KindCoordinator:      "Coordinator",
+	KindSegmentPull:      "SegmentPull",
+	KindSegmentPush:      "SegmentPush",
+	KindAreaReassign:     "AreaReassign",
 }
 
 // String returns the kind's protocol name.
@@ -495,4 +511,76 @@ type ACFailover struct {
 	NewAddr string
 	NewPub  []byte // DER
 	Epoch   uint64
+}
+
+// ---- Quorum leader election and segment replication ----
+
+// Election opens a Bully-style election among an area's replica set
+// after the primary falls silent. Candidates are totally ordered by
+// (LSN, CandidateID): a voter acknowledges only candidates at least as
+// durable as itself, so the winner always holds the longest journal.
+type Election struct {
+	AreaID      string
+	CandidateID string
+	LSN         uint64 // next journal LSN the candidate has applied up to
+}
+
+// ElectionOK is a voter's acknowledgement that the candidate may lead.
+type ElectionOK struct {
+	AreaID  string
+	VoterID string
+	LSN     uint64 // the voter's own applied LSN, for observability
+}
+
+// Coordinator announces the election winner to the replica set. Losers
+// re-point their monitoring at the new leader. MemberAddrs carries the
+// recovered area's member addresses: members only trust ACFailover
+// frames signed by the replica they learned at join, so when a different
+// replica wins, that advertised replica relays the announcement to these
+// addresses on the winner's behalf.
+type Coordinator struct {
+	AreaID      string
+	LeaderID    string
+	Addr        string
+	PubDER      []byte // DER
+	Epoch       uint64 // key-tree epoch the winner recovered at
+	MemberAddrs []string
+}
+
+// SegmentPull asks the primary for journal records from FromLSN up. Sent
+// by a replica whose applied LSN trails the LSN advertised in the
+// primary's heartbeat.
+type SegmentPull struct {
+	AreaID  string
+	FromLSN uint64
+}
+
+// SegmentPush ships journal records [FromLSN, NextLSN) to a lagging
+// replica. When FromLSN predates the primary's oldest retained segment, a
+// baseline state snapshot (as of SnapshotLSN) rides along and Records
+// resume from there. HeartbeatEvery carries the primary's configured
+// heartbeat cadence so replicas derive their timers from the stream
+// instead of duplicating the value in their own config.
+type SegmentPush struct {
+	AreaID         string
+	FromLSN        uint64
+	NextLSN        uint64
+	SnapshotLSN    uint64
+	Snapshot       []byte
+	Records        [][]byte
+	HeartbeatEvery time.Duration
+}
+
+// ---- Dynamic area topology ----
+
+// AreaReassign directs a member to rejoin a sibling controller during an
+// area split or merge. The frame is signed by the member's current AC,
+// which has pre-vouched the member with the target, so the rejoin skips
+// the steps 4-5 verification round-trip.
+type AreaReassign struct {
+	AreaID     string // the member's current area
+	TargetID   string
+	TargetAddr string
+	TargetPub  []byte // DER
+	Reason     string // "split" or "merge"
 }
