@@ -3,18 +3,23 @@
 //
 // Usage:
 //
-//	mykil-vet [-checks keyleak,journalorder] [pattern ...]
+//	mykil-vet [-checks keyleak,journalorder] [-json] [pattern ...]
 //	mykil-vet -list
 //
 // Patterns follow the go tool's shape: a directory loads one package, a
 // directory with a /... suffix loads the whole subtree (skipping testdata
 // and vendor). The default pattern is ./... .
 //
+// -json prints diagnostics as a JSON array of
+// {file, line, col, check, message} objects instead of the
+// file:line:col text form; the exit-code contract is unchanged.
+//
 // Exit codes: 0 no diagnostics, 1 diagnostics were reported, 2 usage or
 // load error. CI treats any nonzero exit as a failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,15 @@ import (
 
 	"mykil/internal/analysis"
 )
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -32,6 +46,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all)")
 	listFlag := fs.Bool("list", false, "list registered checks and exit")
+	jsonFlag := fs.Bool("json", false, "print diagnostics as a JSON array")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,8 +101,27 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	diags := analysis.Run(pkgs, checks)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	if *jsonFlag {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Check:   d.Check,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "mykil-vet: %d diagnostic(s)\n", len(diags))

@@ -8,10 +8,18 @@
 // guarantees depend on:
 //
 //	keyleak         key material must not reach logs or error strings (§III)
+//	keyflow         interprocedural upgrade: derived copies of key material (§III)
 //	clockdiscipline timers must go through the injected clock.Clock (§IV)
 //	wireexhaustive  every wire.Kind is registered, pinned, and dispatched
 //	journalorder    mutate → journal → send ordering (§IV crash recovery)
 //	errcheck-io     fsync/close/write errors on durability paths are checked
+//	obsdiscipline   metrics/tracing follow the repo's observability rules
+//	lockorder       no inconsistent mutex acquisition order in the call graph
+//	sendlocked      no sends, fsyncs, or blocking channel ops under a mutex
+//	guardedby       fields mostly written under a struct's mutex never bare
+//
+// The last three and keyflow run on a shared module-wide dataflow
+// substrate (call graph + per-function lock sets; see program.go).
 //
 // Diagnostics are suppressed with staticcheck-style directives:
 //
@@ -83,6 +91,10 @@ func (p *Package) PkgNameOf(id *ast.Ident) string {
 // Pass is the per-(check, package) reporting context handed to Check.Run.
 type Pass struct {
 	*Package
+	// Prog is the module-wide dataflow substrate (call graph, lock sets,
+	// taint summaries). It is non-nil only when Run built one — i.e. when
+	// an interprocedural check is in the selected set.
+	Prog  *Program
 	check *Check
 	diags *[]Diagnostic
 }
@@ -184,11 +196,20 @@ func knownCheck(name string) bool {
 }
 
 // Run executes the checks over the packages, applies //lint suppressions,
-// and returns the surviving diagnostics sorted by position.
+// and returns the surviving diagnostics sorted by position. A directive
+// that suppresses nothing is itself reported — suppressions must stay
+// live, not fossilize — provided every check it names was in this run's
+// set (a narrowed -checks run cannot judge a directive it didn't
+// exercise). A directive that matched a diagnostic counts as used even
+// when the suppression was refused on a no-suppress path.
 func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 	byName := make(map[string]*Check, len(checks))
 	for _, c := range checks {
 		byName[c.Name] = c
+	}
+	var prog *Program
+	if needsProgram(checks) {
+		prog = buildProgram(pkgs)
 	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
@@ -196,7 +217,7 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 		all = append(all, dirDiags...)
 		var pkgDiags []Diagnostic
 		for _, c := range checks {
-			pass := &Pass{Package: pkg, check: c, diags: &pkgDiags}
+			pass := &Pass{Package: pkg, Prog: prog, check: c, diags: &pkgDiags}
 			c.Run(pass)
 		}
 		for _, d := range pkgDiags {
@@ -209,6 +230,7 @@ func Run(pkgs []*Package, checks []*Check) []Diagnostic {
 			}
 			all = append(all, d)
 		}
+		all = append(all, dirs.unusedDiags(pkg, byName)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]

@@ -118,9 +118,15 @@ func TestFixtures(t *testing.T) {
 		"regress/internal/wire",
 		"journalorderfix",
 		"errcheckiofix",
+		"lockorderfix",
+		"sendlockedfix",
+		"guardedbyfix",
+		"keyflowfix",
+		"jfsyncfix",
 		"suppressfix",
 		"fileignorefix",
 		"strictpaths/internal/member",
+		"strictpaths/internal/replica",
 	}
 	for _, rel := range fixtures {
 		t.Run(strings.ReplaceAll(rel, "/", "_"), func(t *testing.T) {
@@ -173,8 +179,8 @@ func TestLookup(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Lookup(\"\"): %v", err)
 	}
-	if len(all) != 6 {
-		t.Fatalf("Lookup(\"\") returned %d checks, want 6", len(all))
+	if len(all) != 10 {
+		t.Fatalf("Lookup(\"\") returned %d checks, want 10", len(all))
 	}
 	two, err := analysis.Lookup("keyleak, clockdiscipline")
 	if err != nil {

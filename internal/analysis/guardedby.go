@@ -1,0 +1,56 @@
+package analysis
+
+import "sort"
+
+// guardedby infers, per struct field, whether the field is meant to be
+// guarded by its struct's mutex — by majority vote over every write the
+// module makes to it — and flags the minority sites. A field written
+// under the lock at five sites and bare at one is almost certainly a
+// data race at the bare site; the replica's pledge/LSN state and the
+// topology watermarks are exactly the fields where a torn write during
+// failover corrupts the recovery the paper promises (§IV).
+//
+// Scope is deliberately narrow to keep the verdict trustworthy:
+//   - only structs that declare a sync.Mutex/RWMutex field participate;
+//   - only writes of the form recv.field inside methods count (plain
+//     functions and constructors initialize freely);
+//   - a write is "guarded" when a mutex rooted at the same receiver is
+//     held at the write, per the lock-set walk;
+//   - only a strict majority of guarded writes flags the bare ones —
+//     a 50/50 field is a design question, not a diagnostic.
+
+func init() {
+	Register(&Check{
+		Name: "guardedby",
+		Doc: "a struct field written mostly under the struct's own mutex must not also\n" +
+			"be written bare: the minority sites are flagged as likely data races\n" +
+			"(majority-vote inference over every receiver-field write in the module)",
+		Run:             runGuardedBy,
+		NoSuppressPaths: []string{"internal/replica"},
+	})
+}
+
+func runGuardedBy(p *Pass) {
+	prog := p.Prog
+	if prog == nil {
+		return
+	}
+	keys := make([]string, 0, len(prog.fields))
+	for k := range prog.fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ff := prog.fields[k]
+		if len(ff.unguarded) == 0 || len(ff.guarded) <= len(ff.unguarded) {
+			continue
+		}
+		for _, w := range ff.unguarded {
+			if w.pkgPath != p.Path {
+				continue
+			}
+			p.Reportf(w.pos, "%s.%s is written under the struct's mutex at %d other site(s) but bare here in %s; hold the mutex or document the field as unshared",
+				trimKey(ff.structKey), ff.field, len(ff.guarded), w.fn)
+		}
+	}
+}

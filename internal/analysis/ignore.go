@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -15,51 +16,98 @@ import (
 //	    diagnostics anywhere in the file; conventionally placed at the top.
 //
 // The reason is mandatory and the check names must exist, so every
-// suppression in the tree says what it silences and why.
+// suppression in the tree says what it silences and why. A well-formed
+// directive that matches no diagnostic is reported as unused (when every
+// check it names actually ran): a suppression that outlives its
+// diagnostic is a stale claim about the code and hides the day the
+// diagnostic comes back.
 
 const (
 	dirIgnore     = "//lint:ignore"
 	dirFileIgnore = "//lint:file-ignore"
-	// dirCheckName is the pseudo-check under which malformed directives
-	// are reported. It is not registered and cannot be suppressed.
+	// dirCheckName is the pseudo-check under which malformed and unused
+	// directives are reported. It is not registered and cannot be
+	// suppressed.
 	dirCheckName = "lint-directive"
 )
 
-// lineIgnore is one parsed //lint:ignore directive.
-type lineIgnore struct {
-	line   int
-	checks map[string]bool
+// directive is one parsed //lint:ignore or //lint:file-ignore.
+type directive struct {
+	pos      token.Pos
+	line     int // directive's own line (line-scoped only)
+	fileWide bool
+	names    string // the comma-joined check list as written
+	checks   map[string]bool
+	used     bool
 }
 
 // directiveSet indexes a package's suppressions by file.
 type directiveSet struct {
-	byFile map[string][]lineIgnore
-	whole  map[string]map[string]bool // file -> suppressed checks
+	fset   *token.FileSet
+	byFile map[string][]*directive
 }
 
-// suppressed reports whether the diagnostic is covered by a directive.
-// Directive-syntax diagnostics are never suppressible.
+// suppressed reports whether the diagnostic is covered by a directive,
+// marking every matching directive as used. Directive-syntax diagnostics
+// are never suppressible.
 func (ds *directiveSet) suppressed(d Diagnostic) bool {
 	if d.Check == dirCheckName {
 		return false
 	}
-	if checks, ok := ds.whole[d.Pos.Filename]; ok && checks[d.Check] {
-		return true
-	}
-	for _, ig := range ds.byFile[d.Pos.Filename] {
-		if ig.checks[d.Check] && (d.Pos.Line == ig.line || d.Pos.Line == ig.line+1) {
-			return true
+	hit := false
+	for _, dir := range ds.byFile[d.Pos.Filename] {
+		if !dir.checks[d.Check] {
+			continue
+		}
+		if dir.fileWide || d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// unusedDiags reports every directive that matched nothing, provided all
+// checks it names were in the run set — a directive for a check that
+// didn't run may well be load-bearing.
+func (ds *directiveSet) unusedDiags(pkg *Package, ran map[string]*Check) []Diagnostic {
+	var out []Diagnostic
+	files := make([]string, 0, len(ds.byFile))
+	for f := range ds.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, dir := range ds.byFile[f] {
+			if dir.used {
+				continue
+			}
+			judgeable := true
+			for name := range dir.checks {
+				if ran[name] == nil {
+					judgeable = false
+					break
+				}
+			}
+			if !judgeable {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:     pkg.Fset.Position(dir.pos),
+				Check:   dirCheckName,
+				Message: fmt.Sprintf("//lint directive for %q suppresses nothing; remove it", dir.names),
+			})
+		}
+	}
+	return out
 }
 
 // collectDirectives parses every //lint directive in the package and
 // returns the suppression index plus diagnostics for malformed ones.
 func collectDirectives(pkg *Package) (*directiveSet, []Diagnostic) {
 	ds := &directiveSet{
-		byFile: map[string][]lineIgnore{},
-		whole:  map[string]map[string]bool{},
+		fset:   pkg.Fset,
+		byFile: map[string][]*directive{},
 	}
 	var diags []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
@@ -106,18 +154,13 @@ func collectDirectives(pkg *Package) (*directiveSet, []Diagnostic) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				if fileWide {
-					m := ds.whole[pos.Filename]
-					if m == nil {
-						m = map[string]bool{}
-						ds.whole[pos.Filename] = m
-					}
-					for name := range checks {
-						m[name] = true
-					}
-				} else {
-					ds.byFile[pos.Filename] = append(ds.byFile[pos.Filename], lineIgnore{line: pos.Line, checks: checks})
-				}
+				ds.byFile[pos.Filename] = append(ds.byFile[pos.Filename], &directive{
+					pos:      c.Pos(),
+					line:     pos.Line,
+					fileWide: fileWide,
+					names:    fields[0],
+					checks:   checks,
+				})
 			}
 		}
 	}

@@ -1,0 +1,73 @@
+package analysis
+
+import "sort"
+
+// lockorder finds lock-order inversions and self-deadlocks over the
+// module-wide lock-order graph the Program builds: an edge A→B means
+// lock B was acquired (directly or through a callee) while A was held.
+// If both A→B and B→A exist anywhere in the module, two goroutines can
+// each take one lock and wait forever for the other — the classic
+// failover hang the paper's fault-tolerance story cannot afford (§IV: a
+// deadlocked backup is indistinguishable from a failed one, and a
+// deadlocked controller takes the whole area down with it).
+//
+// Soundness: edges through interface calls and function values are
+// invisible (no static callee), so a clean report is not a proof; but
+// every reported inversion cites two concrete witnesses, so reports are
+// actionable, not statistical.
+
+func init() {
+	Register(&Check{
+		Name: "lockorder",
+		Doc: "two mutexes acquired in inconsistent order anywhere in the call graph\n" +
+			"(A held while taking B in one place, B held while taking A in another) can\n" +
+			"deadlock; also flags re-acquiring a mutex already held through the same\n" +
+			"expression, which self-deadlocks on Go's non-reentrant sync.Mutex",
+		Run:             runLockOrder,
+		NoSuppressPaths: []string{"internal/replica", "internal/area"},
+	})
+}
+
+func runLockOrder(p *Pass) {
+	prog := p.Prog
+	if prog == nil {
+		return
+	}
+	for _, pf := range prog.funcsIn(p.Path) {
+		for _, sd := range pf.selfDL {
+			p.Reportf(sd.pos, "%s is already held here; re-acquiring a non-reentrant sync mutex deadlocks immediately", sd.id.short())
+		}
+	}
+	froms := make([]string, 0, len(prog.edges))
+	for a := range prog.edges {
+		froms = append(froms, a)
+	}
+	sort.Strings(froms)
+	for _, a := range froms {
+		tos := make([]string, 0, len(prog.edges[a]))
+		for b := range prog.edges[a] {
+			tos = append(tos, b)
+		}
+		sort.Strings(tos)
+		for _, b := range tos {
+			e := prog.edges[a][b]
+			if e.pkgPath != p.Path {
+				continue
+			}
+			rev, ok := prog.edges[b]
+			if !ok {
+				continue
+			}
+			re, ok := rev[a]
+			if !ok {
+				continue
+			}
+			how := "acquired"
+			if e.via != "" {
+				how = "acquired via " + e.via
+			}
+			p.Reportf(e.pos, "%s %s while %s is held in %s, but %s takes them in the opposite order (%s); pick one order",
+				trimKey(b), how, trimKey(a), e.fn, re.fn, prog.posString(re.pos))
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the lock-set walker shared by the concurrency checks
+// (lockorder, sendlocked, guardedby). It linearizes a function body the
+// same way journalorder does — statements in source order along the
+// "main path", with branches that always terminate analyzed as diverted
+// sub-paths — while threading a set of currently-held sync.Mutex /
+// sync.RWMutex locks through the walk.
+//
+// Lock identity is the *declaration site* of the mutex, not the runtime
+// instance: a field `mu` of struct T is the lock "pkg.T.mu" wherever it
+// is locked, a package-level mutex is "pkg.mu", and a local is unique to
+// its declaration. Two instances of the same struct therefore share an
+// identity; the checks compensate by also carrying the source text of
+// the locked expression (base) and its leading identifier (root), so a
+// same-identity re-acquire is only called a self-deadlock when the base
+// expressions match.
+//
+// Approximations (documented in DESIGN §14):
+//   - Branches that do not terminate mutate the shared lock set in
+//     source order, so `if a { mu.Unlock() } else { mu.Unlock() }`
+//     converges correctly but a branch that leaks a lock on only one arm
+//     is averaged, not forked.
+//   - switch/select cases are alternatives: each case runs on a copy of
+//     the entry set and the walk continues from the entry set.
+//   - defer mu.Unlock() keeps the lock held for the rest of the body
+//     (true at every subsequent statement) and suppresses leak concerns.
+//   - Function literals are separate timelines: they are handed to the
+//     visitor for independent analysis with an empty lock set.
+
+// lockID identifies one mutex.
+type lockID struct {
+	key  string // stable declaration identity, e.g. "mykil/internal/replica.Replica.mu"
+	base string // source text of the locked expression, e.g. "r.mu"
+	root string // leading identifier of base, e.g. "r"
+	read bool   // acquired via RLock
+}
+
+// short renders the identity for diagnostics: base plus the declaration
+// key with the module path trimmed to its last segment.
+func (id lockID) short() string {
+	return id.base + " (" + trimKey(id.key) + ")"
+}
+
+// trimKey shortens "mykil/internal/replica.Replica.mu" to
+// "replica.Replica.mu".
+func trimKey(key string) string {
+	slash := -1
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			slash = i
+		}
+	}
+	return key[slash+1:]
+}
+
+// heldLock is one acquired lock with its acquire site.
+type heldLock struct {
+	id  lockID
+	pos token.Pos
+}
+
+// lockVisitor receives the walk's events. Any callback may be nil.
+type lockVisitor struct {
+	// acquire fires when a lock is taken, with the set held before it.
+	acquire func(l heldLock, heldBefore []heldLock)
+	// call fires for every call that is not a lock/unlock, with the
+	// current held set.
+	call func(call *ast.CallExpr, held []heldLock)
+	// chanop fires for blocking channel operations (send statements,
+	// receives, selects without a default, ranging over a channel).
+	chanop func(pos token.Pos, what string, held []heldLock)
+	// write fires for assignments and inc/dec statements, once per
+	// written expression.
+	write func(lhs ast.Expr, pos token.Pos, held []heldLock)
+	// funclit collects nested function literals for independent analysis.
+	funclit func(lit *ast.FuncLit)
+}
+
+// lockMethods maps the sync methods the walker interprets.
+var lockMethods = map[string]int{
+	"Lock":    +1,
+	"RLock":   +1,
+	"Unlock":  -1,
+	"RUnlock": -1,
+}
+
+// lockCall classifies a call as a mutex acquire/release, returning the
+// identity and +1/-1, or ok=false for every other call.
+func lockCall(p *Pass, call *ast.CallExpr) (id lockID, dir int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return lockID{}, 0, false
+	}
+	dir, known := lockMethods[sel.Sel.Name]
+	if !known {
+		return lockID{}, 0, false
+	}
+	obj, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return lockID{}, 0, false
+	}
+	id, ok = lockIdentity(p, sel.X)
+	if !ok {
+		return lockID{}, 0, false
+	}
+	id.read = sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock"
+	return id, dir, true
+}
+
+// lockIdentity derives the declaration identity of the locked expression.
+func lockIdentity(p *Pass, e ast.Expr) (lockID, bool) {
+	base := exprString(e)
+	root := rootIdent(e)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		// Field selection r.mu: identity is the field's owner struct.
+		if sel, ok := p.Info.Selections[x]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				if owner := fieldOwner(p, x, v); owner != "" {
+					return lockID{key: owner + "." + v.Name(), base: base, root: root}, true
+				}
+			}
+		}
+		// Qualified package-level var pkg.mu.
+		if obj, ok := p.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return lockID{key: obj.Pkg().Path() + "." + obj.Name(), base: base, root: root}, true
+		}
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			break
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				// Package-level mutex.
+				return lockID{key: v.Pkg().Path() + "." + v.Name(), base: base, root: root}, true
+			}
+			// Local or parameter: unique to its declaration.
+			return lockID{key: "local:" + p.Fset.Position(v.Pos()).String(), base: base, root: root}, true
+		}
+	}
+	// Embedded mutex (r.Lock() with X = the struct itself) or anything
+	// else addressable: key on the receiver's type when named.
+	if named, ok := deref(p.TypeOf(e)).(*types.Named); ok && named.Obj().Pkg() != nil {
+		return lockID{key: named.Obj().Pkg().Path() + "." + named.Obj().Name(), base: base, root: root}, true
+	}
+	return lockID{key: "expr:" + base, base: base, root: root}, true
+}
+
+// fieldOwner resolves the named struct type a selected field belongs to,
+// as "pkgpath.Type". The selection's receiver — not the field's scope —
+// carries the type the checks should key on.
+func fieldOwner(p *Pass, sel *ast.SelectorExpr, v *types.Var) string {
+	if s, ok := p.Info.Selections[sel]; ok {
+		if named, ok := deref(s.Recv()).(*types.Named); ok && named.Obj().Pkg() != nil {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+	}
+	if v.Pkg() != nil {
+		return v.Pkg().Path()
+	}
+	return ""
+}
+
+// rootIdent returns the leading identifier of a selector chain.
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// walkLockPath traverses stmts in source order, maintaining held.
+func walkLockPath(p *Pass, stmts []ast.Stmt, held *[]heldLock, v *lockVisitor) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IfStmt:
+			scanLockNode(p, s.Init, held, v)
+			scanLockNode(p, s.Cond, held, v)
+			if terminates(s.Body.List) {
+				forked := cloneHeld(*held)
+				walkLockPath(p, s.Body.List, &forked, v)
+			} else {
+				walkLockPath(p, s.Body.List, held, v)
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				if terminates(e.List) {
+					forked := cloneHeld(*held)
+					walkLockPath(p, e.List, &forked, v)
+				} else {
+					walkLockPath(p, e.List, held, v)
+				}
+			case *ast.IfStmt:
+				walkLockPath(p, []ast.Stmt{e}, held, v)
+			}
+		case *ast.ForStmt:
+			scanLockNode(p, s.Init, held, v)
+			scanLockNode(p, s.Cond, held, v)
+			walkLockPath(p, s.Body.List, held, v)
+			scanLockNode(p, s.Post, held, v)
+		case *ast.RangeStmt:
+			scanLockNode(p, s.X, held, v)
+			if t := p.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && v.chanop != nil {
+					v.chanop(s.Pos(), "range over channel", *held)
+				}
+			}
+			walkLockPath(p, s.Body.List, held, v)
+		case *ast.SwitchStmt:
+			scanLockNode(p, s.Init, held, v)
+			scanLockNode(p, s.Tag, held, v)
+			for _, cs := range s.Body.List {
+				if cc, ok := cs.(*ast.CaseClause); ok {
+					forked := cloneHeld(*held)
+					walkLockPath(p, cc.Body, &forked, v)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			scanLockNode(p, s.Init, held, v)
+			for _, cs := range s.Body.List {
+				if cc, ok := cs.(*ast.CaseClause); ok {
+					forked := cloneHeld(*held)
+					walkLockPath(p, cc.Body, &forked, v)
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(s) && v.chanop != nil {
+				v.chanop(s.Pos(), "blocking select", *held)
+			}
+			for _, cs := range s.Body.List {
+				if cc, ok := cs.(*ast.CommClause); ok {
+					forked := cloneHeld(*held)
+					walkLockPath(p, cc.Body, &forked, v)
+				}
+			}
+		case *ast.BlockStmt:
+			walkLockPath(p, s.List, held, v)
+		case *ast.LabeledStmt:
+			walkLockPath(p, []ast.Stmt{s.Stmt}, held, v)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the remainder of
+			// the body; other deferred work runs at exit, outside the
+			// walked timeline. Literals inside still get their own walk.
+			if _, dir, ok := lockCall(p, s.Call); !ok || dir != -1 {
+				collectFuncLits(s.Call, v)
+			}
+		case *ast.GoStmt:
+			// A goroutine is its own timeline.
+			collectFuncLits(s.Call, v)
+		default:
+			scanLockNode(p, stmt, held, v)
+		}
+	}
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making every comm op non-blocking).
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneHeld copies a held set for a diverted branch.
+func cloneHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+// scanLockNode processes one simple statement or expression: lock
+// transitions are applied to held, everything else is reported to the
+// visitor, in source order. Function literals are not descended into.
+func scanLockNode(p *Pass, n ast.Node, held *[]heldLock, v *lockVisitor) {
+	if n == nil {
+		return
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			scanLockNode(p, rhs, held, v)
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if v.write != nil {
+				v.write(lhs, lhs.Pos(), *held)
+			}
+			scanLockNode(p, lhs, held, v)
+		}
+		return
+	case *ast.IncDecStmt:
+		if v.write != nil {
+			v.write(s.X, s.X.Pos(), *held)
+		}
+		scanLockNode(p, s.X, held, v)
+		return
+	case *ast.SendStmt:
+		scanLockNode(p, s.Value, held, v)
+		if v.chanop != nil {
+			v.chanop(s.Pos(), "channel send", *held)
+		}
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			if v.funclit != nil {
+				v.funclit(x)
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && v.chanop != nil {
+				v.chanop(x.Pos(), "channel receive", *held)
+			}
+		case *ast.CallExpr:
+			if id, dir, ok := lockCall(p, x); ok {
+				if dir > 0 {
+					if v.acquire != nil {
+						v.acquire(heldLock{id: id, pos: x.Pos()}, *held)
+					}
+					*held = append(*held, heldLock{id: id, pos: x.Pos()})
+				} else {
+					releaseLock(held, id)
+				}
+				return false
+			}
+			// Visit the arguments first so nested calls report before
+			// the enclosing one, matching source evaluation order.
+			for _, arg := range x.Args {
+				scanLockNode(p, arg, held, v)
+			}
+			if v.call != nil {
+				v.call(x, *held)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// collectFuncLits reports nested literals inside a deferred or go call.
+func collectFuncLits(n ast.Node, v *lockVisitor) {
+	if v.funclit == nil || n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if lit, ok := node.(*ast.FuncLit); ok {
+			v.funclit(lit)
+			return false
+		}
+		return true
+	})
+}
+
+// releaseLock removes the most recent matching lock: exact base match
+// first, then identity-only.
+func releaseLock(held *[]heldLock, id lockID) {
+	hs := *held
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].id.key == id.key && hs[i].id.base == id.base {
+			*held = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].id.key == id.key {
+			*held = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+}

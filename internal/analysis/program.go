@@ -1,0 +1,513 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Program is the module-wide dataflow substrate shared by the
+// interprocedural checks (lockorder, sendlocked, guardedby, keyflow).
+// Run builds one Program per invocation from every loaded package: a
+// call graph keyed by qualified symbol strings (object identity does not
+// survive the per-root type-checks, symbol strings do), per-function
+// facts gathered in a single lock-set walk, and fixpoint summaries on
+// top — which locks a function may transitively acquire, and whether it
+// can transitively reach a blocking operation (a transport send, a
+// journal fsync, or a channel op without a default).
+//
+// Soundness boundaries, by construction: calls through interface values
+// and function-typed fields produce no edge (the symbol resolves to no
+// declaration), goroutine bodies and deferred work are separate
+// timelines, and branch effects merge in source order (see lockset.go).
+// These trade recall for a zero-false-positive bar the CI gate can pin.
+type Program struct {
+	fset *token.FileSet
+	// funcs indexes analyzed declarations by qualified symbol — the call
+	// graph's nodes. all additionally holds anonymous function literals,
+	// which have no symbol and so can contribute facts (lock edges,
+	// unguarded writes, blocking ops) but never act as a resolved callee.
+	funcs map[string]*progFunc
+	all   []*progFunc
+	// edges is the global lock-order graph: edges[a][b] is the first
+	// witness of lock b acquired while a was held.
+	edges map[string]map[string]*lockEdge
+	// fields aggregates struct-field writes for guardedby.
+	fields map[string]*fieldFacts
+
+	// keyflow's lazily-built per-function taint summaries.
+	taint map[string]*taintSummary
+}
+
+// progFunc is one analyzed function or function literal.
+type progFunc struct {
+	key     string // qualified symbol; "" for literals
+	display string // human name for diagnostics, e.g. "(*Replica).win"
+	pkgPath string
+	decl    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	pkg     *Package
+
+	// Facts from the lock-set walk.
+	blocks   []blockFact
+	calls    []callFact
+	acquires []acqFact
+	selfDL   []selfDeadlock
+
+	// Summaries.
+	blockVia *blockSummary
+	lockSet  map[string]lockWitness
+}
+
+// blockFact is one potentially-blocking operation: a send helper, a
+// Transport.Send, a journal durability call, or a channel op.
+type blockFact struct {
+	pos  token.Pos
+	desc string
+	held []heldLock
+}
+
+// callFact is one resolved or unresolved call site.
+type callFact struct {
+	callee string // qualified symbol, "" when unresolvable
+	pos    token.Pos
+	held   []heldLock
+}
+
+// acqFact is one lock acquisition with the set held before it.
+type acqFact struct {
+	lock heldLock
+	held []heldLock
+}
+
+// selfDeadlock is a re-acquire of a lock already held through the same
+// expression: an immediate deadlock on Go's non-reentrant mutexes.
+type selfDeadlock struct {
+	pos token.Pos
+	id  lockID
+}
+
+// blockSummary says a function can reach a blocking op.
+type blockSummary struct {
+	desc string
+	pos  token.Pos
+	via  string // callee display chain, "" when direct
+}
+
+// lockWitness records where a transitively-acquired lock is taken.
+type lockWitness struct {
+	pos token.Pos
+	via string // callee display, "" when acquired directly
+}
+
+// lockEdge is one witness of an ordered pair of lock acquisitions.
+type lockEdge struct {
+	pos     token.Pos
+	pkgPath string
+	fn      string // display name of the function holding the witness
+	via     string // callee display for interprocedural edges
+}
+
+// fieldFacts aggregates writes to one struct field across the module.
+type fieldFacts struct {
+	structKey string // "pkgpath.Type"
+	field     string
+	guarded   []token.Pos
+	unguarded []unguardedWrite
+}
+
+type unguardedWrite struct {
+	pos     token.Pos
+	pkgPath string
+	fn      string
+}
+
+// needsProgram reports whether any selected check consumes the Program.
+func needsProgram(checks []*Check) bool {
+	for _, c := range checks {
+		switch c.Name {
+		case "lockorder", "sendlocked", "guardedby", "keyflow":
+			return true
+		}
+	}
+	return false
+}
+
+// buildProgram walks every function in every package once and computes
+// the summaries.
+func buildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		funcs:  map[string]*progFunc{},
+		edges:  map[string]map[string]*lockEdge{},
+		fields: map[string]*fieldFacts{},
+	}
+	if len(pkgs) == 0 {
+		return prog
+	}
+	prog.fset = pkgs[0].Fset
+	for _, pkg := range pkgs {
+		pass := &Pass{Package: pkg}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				pf := &progFunc{
+					key:     declKey(pkg, fd),
+					display: declDisplay(fd),
+					pkgPath: pkg.Path,
+					decl:    fd,
+					pkg:     pkg,
+				}
+				prog.walkFunc(pass, pf, fd.Recv, fd.Body)
+				if pf.key != "" {
+					prog.funcs[pf.key] = pf
+				}
+			}
+		}
+	}
+	prog.summarize(prog.all)
+	prog.recordEdges(prog.all)
+	return prog
+}
+
+// walkFunc runs the lock-set walk over one body, recording facts on pf.
+// Nested function literals become their own anonymous units with empty
+// entry lock sets: a goroutine's blocking op must not make its *parent*
+// look blocking, but lock edges and unguarded writes inside it are still
+// real module-wide facts.
+func (prog *Program) walkFunc(pass *Pass, pf *progFunc, recv *ast.FieldList, body *ast.BlockStmt) {
+	prog.all = append(prog.all, pf)
+	v := &lockVisitor{
+		acquire: func(l heldLock, before []heldLock) {
+			for _, h := range before {
+				if h.id.key == l.id.key && h.id.base == l.id.base && !h.id.read && !l.id.read {
+					pf.selfDL = append(pf.selfDL, selfDeadlock{pos: l.pos, id: l.id})
+					return
+				}
+			}
+			pf.acquires = append(pf.acquires, acqFact{lock: l, held: cloneHeld(before)})
+		},
+		call: func(call *ast.CallExpr, held []heldLock) {
+			if desc := blockingCallDesc(pass, call); desc != "" {
+				pf.blocks = append(pf.blocks, blockFact{pos: call.Pos(), desc: desc, held: cloneHeld(held)})
+				return
+			}
+			pf.calls = append(pf.calls, callFact{callee: calleeKey(pass, call), pos: call.Pos(), held: cloneHeld(held)})
+		},
+		chanop: func(pos token.Pos, what string, held []heldLock) {
+			pf.blocks = append(pf.blocks, blockFact{pos: pos, desc: what, held: cloneHeld(held)})
+		},
+		write: func(lhs ast.Expr, pos token.Pos, held []heldLock) {
+			prog.recordFieldWrite(pass, pf, recv, lhs, pos, held)
+		},
+		funclit: func(lit *ast.FuncLit) {
+			anon := &progFunc{
+				display: pf.display + " (func literal)",
+				pkgPath: pf.pkgPath,
+				decl:    lit,
+				pkg:     pf.pkg,
+			}
+			prog.walkFunc(pass, anon, recv, lit.Body)
+		},
+	}
+	var held []heldLock
+	walkLockPath(pass, body.List, &held, v)
+}
+
+// blockingCallDesc classifies a call site as an inherently blocking or
+// transmitting operation, mirroring journalorder's conventions: the
+// send/multicast/sealSend helper families, Send on a Transport, and the
+// journal durability methods (whose fsync can stall the caller for as
+// long as the disk pleases). Inside internal/journal itself the
+// durability methods are the implementation, not a caller's hazard.
+func blockingCallDesc(p *Pass, call *ast.CallExpr) string {
+	var name string
+	var recv ast.Expr
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		recv = fun.X
+	default:
+		return ""
+	}
+	switch {
+	case sendCallRE.MatchString(name):
+		return name + " (transport send)"
+	case recv != nil && name == "Send" && isNamedType(p.TypeOf(recv), "", "Transport"):
+		return "Transport.Send"
+	case recv != nil && errcheckJournalMethods[name] && isNamedType(p.TypeOf(recv), "journal", "Journal") &&
+		!strings.HasSuffix(p.Path, "internal/journal"):
+		return "journal " + name + " (fsync)"
+	}
+	return ""
+}
+
+// calleeKey resolves a call to the qualified symbol of its static
+// callee, or "" for interface calls, function values, and builtins.
+func calleeKey(p *Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return funcObjKey(f)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if _, isIface := deref(sel.Recv()).Underlying().(*types.Interface); isIface {
+					return ""
+				}
+				return funcObjKey(f)
+			}
+			return ""
+		}
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return funcObjKey(f)
+		}
+	}
+	return ""
+}
+
+// funcObjKey renders a *types.Func as "pkgpath.Name" or
+// "pkgpath.Recv.Name".
+func funcObjKey(f *types.Func) string {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named, ok := deref(sig.Recv().Type()).(*types.Named); ok {
+			return pkg.Path() + "." + named.Obj().Name() + "." + f.Name()
+		}
+		return ""
+	}
+	return pkg.Path() + "." + f.Name()
+}
+
+// declKey renders a FuncDecl's qualified symbol with the same shape as
+// funcObjKey, so call sites and declarations meet.
+func declKey(pkg *Package, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkg.Path + "." + fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+			continue
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+			continue
+		case *ast.Ident:
+			return pkg.Path + "." + x.Name + "." + fd.Name.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// declDisplay renders a short human name: "win" or "(*Replica).win".
+func declDisplay(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star, t = "*", se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + star + id.Name + ")." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// recordFieldWrite classifies an assignment for guardedby: only direct
+// writes to fields of the method's own receiver count, and a write is
+// guarded when a mutex belonging to the same receiver is held.
+func (prog *Program) recordFieldWrite(p *Pass, pf *progFunc, recv *ast.FieldList, lhs ast.Expr, pos token.Pos, held []heldLock) {
+	if recv == nil || len(recv.List) == 0 || len(recv.List[0].Names) == 0 {
+		return
+	}
+	recvName := recv.List[0].Names[0].Name
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Name != recvName {
+		return
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() || isMutexType(v.Type()) {
+		return
+	}
+	named, ok := deref(s.Recv()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || !structHasMutex(st) {
+		return
+	}
+	structKey := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	fk := structKey + "." + v.Name()
+	ff := prog.fields[fk]
+	if ff == nil {
+		ff = &fieldFacts{structKey: structKey, field: v.Name()}
+		prog.fields[fk] = ff
+	}
+	guarded := false
+	for _, h := range held {
+		if h.id.root == recvName && strings.HasPrefix(h.id.key, structKey+".") {
+			guarded = true
+			break
+		}
+	}
+	if guarded {
+		ff.guarded = append(ff.guarded, pos)
+	} else {
+		ff.unguarded = append(ff.unguarded, unguardedWrite{pos: pos, pkgPath: pf.pkgPath, fn: pf.display})
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// structHasMutex reports whether the struct declares (or embeds) a mutex
+// field — the precondition for guardedby to reason about it.
+func structHasMutex(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// summarize computes the transitive blocking and lock-set summaries by
+// fixpoint over the call graph.
+func (prog *Program) summarize(order []*progFunc) {
+	for _, pf := range order {
+		if len(pf.blocks) > 0 {
+			b := pf.blocks[0]
+			pf.blockVia = &blockSummary{desc: b.desc, pos: b.pos}
+		}
+		pf.lockSet = map[string]lockWitness{}
+		for _, a := range pf.acquires {
+			if _, seen := pf.lockSet[a.lock.id.key]; !seen {
+				pf.lockSet[a.lock.id.key] = lockWitness{pos: a.lock.pos}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pf := range order {
+			for _, c := range pf.calls {
+				callee := prog.funcs[c.callee]
+				if callee == nil || callee == pf {
+					continue
+				}
+				if pf.blockVia == nil && callee.blockVia != nil {
+					pf.blockVia = &blockSummary{desc: callee.blockVia.desc, pos: callee.blockVia.pos, via: callee.display}
+					changed = true
+				}
+				for key, w := range callee.lockSet {
+					if _, seen := pf.lockSet[key]; !seen {
+						via := callee.display
+						if w.via != "" {
+							via = w.via
+						}
+						pf.lockSet[key] = lockWitness{pos: w.pos, via: via}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// recordEdges populates the global lock-order graph: a direct edge for
+// every acquire under a held lock, and an interprocedural edge for every
+// lock a callee may take while the caller holds one.
+func (prog *Program) recordEdges(order []*progFunc) {
+	add := func(a, b string, e *lockEdge) {
+		if a == b {
+			return // same declaration: instance identity is ambiguous
+		}
+		m := prog.edges[a]
+		if m == nil {
+			m = map[string]*lockEdge{}
+			prog.edges[a] = m
+		}
+		if _, dup := m[b]; !dup {
+			m[b] = e
+		}
+	}
+	for _, pf := range order {
+		for _, a := range pf.acquires {
+			for _, h := range a.held {
+				add(h.id.key, a.lock.id.key, &lockEdge{pos: a.lock.pos, pkgPath: pf.pkgPath, fn: pf.display})
+			}
+		}
+		for _, c := range pf.calls {
+			callee := prog.funcs[c.callee]
+			if callee == nil || len(c.held) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(callee.lockSet))
+			for key := range callee.lockSet {
+				keys = append(keys, key)
+			}
+			sort.Strings(keys)
+			for _, h := range c.held {
+				for _, key := range keys {
+					via := callee.display
+					if w := callee.lockSet[key]; w.via != "" {
+						via = callee.display + " → " + w.via
+					}
+					add(h.id.key, key, &lockEdge{pos: c.pos, pkgPath: pf.pkgPath, fn: pf.display, via: via})
+				}
+			}
+		}
+	}
+}
+
+// funcsIn returns the package's analyzed units (declarations and
+// literals) in source order.
+func (prog *Program) funcsIn(path string) []*progFunc {
+	var out []*progFunc
+	for _, pf := range prog.all {
+		if pf.pkgPath == path {
+			out = append(out, pf)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].decl.Pos() < out[j].decl.Pos() })
+	return out
+}
+
+// posString formats a position against the program's shared FileSet.
+func (prog *Program) posString(pos token.Pos) string {
+	p := prog.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,63 @@
+package analysis
+
+// sendlocked finds potentially-blocking operations reachable while a
+// mutex is held: transport sends (the send/multicast/sealSend helper
+// families and Transport.Send), journal durability calls (Append,
+// Snapshot, Sync, Close — each can fsync), channel sends and receives,
+// selects without a default, and ranging over a channel. A send that
+// stalls under a lock holds up every other goroutine contending for it;
+// on the election heartbeat path that turns one slow peer into a stalled
+// quorum (§IV — the failure detector must never share a lock with the
+// network).
+//
+// Direct occurrences are found by the lock-set walk; transitive ones use
+// the Program's fixpoint blocking summaries, so a helper that merely
+// *can* reach a blocking select is flagged at the lock-held call site
+// with the full via chain. Inside internal/journal the durability
+// methods are the implementation being guarded, not a caller hazard, so
+// they are exempt there.
+
+func init() {
+	Register(&Check{
+		Name: "sendlocked",
+		Doc: "transport sends, journal fsyncs, and blocking channel operations must not\n" +
+			"be reachable while a sync.Mutex/RWMutex is held — compute under the lock,\n" +
+			"release it, then transmit; a stalled peer must not freeze lock holders",
+		Run:             runSendLocked,
+		NoSuppressPaths: []string{"internal/replica"},
+	})
+}
+
+func runSendLocked(p *Pass) {
+	prog := p.Prog
+	if prog == nil {
+		return
+	}
+	for _, pf := range prog.funcsIn(p.Path) {
+		for _, b := range pf.blocks {
+			if len(b.held) == 0 {
+				continue
+			}
+			h := b.held[len(b.held)-1]
+			p.Reportf(b.pos, "%s while %s is held (locked at %s); release the lock before blocking",
+				b.desc, h.id.short(), prog.posString(h.pos))
+		}
+		for _, c := range pf.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			callee := prog.funcs[c.callee]
+			if callee == nil || callee == pf || callee.blockVia == nil {
+				continue
+			}
+			bv := callee.blockVia
+			via := callee.display
+			if bv.via != "" {
+				via += " → " + bv.via
+			}
+			h := c.held[len(c.held)-1]
+			p.Reportf(c.pos, "call can block while %s is held (locked at %s): %s reaches %s at %s; release the lock before calling",
+				h.id.short(), prog.posString(h.pos), via, bv.desc, prog.posString(bv.pos))
+		}
+	}
+}

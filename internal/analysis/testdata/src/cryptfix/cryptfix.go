@@ -21,8 +21,8 @@ type PublicKey struct{ der []byte }
 func Leak(k SymKey, pair *KeyPair) {
 	fmt.Printf("material=%v\n", k) // want "k carries key material into fmt.Printf"
 	log.Println(pair)              // want "pair carries key material into log.Println"
-	s := string(k[:])              // conversions keep the bytes secret
-	fmt.Print(s)
+	s := string(k[:])              // conversions keep the bytes secret: keyflow tracks the copy
+	fmt.Print(s)                   // want "s carries key material copied from k into fmt.Print"
 }
 
 // Allowed prints public keys and lengths: no diagnostics.

@@ -1,0 +1,62 @@
+// Package guardedbyfix exercises guardedby's majority-vote inference: a
+// field written under the struct's mutex at most sites and bare at a
+// minority site flags the bare write; 50/50 fields, all-guarded fields,
+// mutex-free structs, and constructors stay silent.
+package guardedbyfix
+
+import "sync"
+
+// Counter's n is written under mu at two sites and bare at one.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+	m  int
+}
+
+func (c *Counter) IncA() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) IncB() {
+	c.mu.Lock()
+	c.n = c.n + 1
+	c.m++
+	c.mu.Unlock()
+}
+
+// Reset writes n bare: the minority site.
+func (c *Counter) Reset() {
+	c.n = 0 // want "Counter.n is written under the struct's mutex at 2 other site"
+}
+
+// NewCounter initializes bare in a constructor: plain functions are
+// never counted, so this does not tip the vote.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 5
+	return c
+}
+
+// Half is written once guarded, once bare: no strict majority, no
+// diagnostic — a 50/50 field is a design question, not a race verdict.
+type Half struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (h *Half) Guarded() {
+	h.mu.Lock()
+	h.v = 1
+	h.mu.Unlock()
+}
+
+func (h *Half) Bare() {
+	h.v = 2
+}
+
+// Plain has no mutex; its writes are never judged.
+type Plain struct{ v int }
+
+func (p *Plain) Set(v int) { p.v = v }

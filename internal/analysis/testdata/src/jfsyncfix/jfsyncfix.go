@@ -1,0 +1,39 @@
+// Package journal exercises sendlocked's journal-fsync rule. The package
+// is *named* journal so its Journal type matches the repo convention the
+// check keys on, but its import path is not internal/journal — the real
+// journal package is exempt from this rule (its own mutex guards the
+// file descriptor; there the durability calls are the implementation,
+// not a caller hazard).
+package journal
+
+import "sync"
+
+// Journal mimics the durability API.
+type Journal struct{}
+
+func (*Journal) Append(b []byte) error { return nil }
+
+func (*Journal) Sync() error { return nil }
+
+// Store owns a journal behind a mutex.
+type Store struct {
+	mu sync.Mutex
+	j  *Journal
+	n  int
+}
+
+// BadAppend fsyncs while holding the lock.
+func (s *Store) BadAppend(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	_ = s.j.Append(b) // want "journal Append (fsync) while s.mu"
+}
+
+// OkAppend releases the lock before the fsync.
+func (s *Store) OkAppend(b []byte) error {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	return s.j.Sync()
+}

@@ -1,0 +1,108 @@
+// Package lockorderfix exercises lockorder: mutexes acquired in both
+// orders (directly and through one call level) are flagged at each
+// witness, re-acquiring a held mutex is a self-deadlock, stacked read
+// locks are legal, and a consistent order stays silent.
+package lockorderfix
+
+import "sync"
+
+// Pair holds two mutexes the methods below acquire in both orders.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// AB acquires a then b.
+func (p *Pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want "Pair.b acquired while lockorderfix.Pair.a is held"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// BA acquires b then a: the inversion's other witness.
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want "Pair.a acquired while lockorderfix.Pair.b is held"
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Again re-locks a mutex it already holds.
+func (p *Pair) Again() {
+	p.a.Lock()
+	p.a.Lock() // want "already held here; re-acquiring"
+	p.n = 0
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+// Duo's inversion crosses a call: CD reaches d through a helper.
+type Duo struct {
+	c sync.Mutex
+	d sync.Mutex
+	m int
+}
+
+func (q *Duo) lockD() {
+	q.d.Lock()
+	q.m++
+	q.d.Unlock()
+}
+
+// CD holds c and acquires d via lockD.
+func (q *Duo) CD() {
+	q.c.Lock()
+	q.lockD() // want "Duo.d acquired via (*Duo).lockD while"
+	q.c.Unlock()
+}
+
+// DC takes d then c directly.
+func (q *Duo) DC() {
+	q.d.Lock()
+	q.c.Lock() // want "Duo.c acquired while lockorderfix.Duo.d is held"
+	q.m++
+	q.c.Unlock()
+	q.d.Unlock()
+}
+
+// Ordered always takes its locks in one order: no diagnostics.
+type Ordered struct {
+	a sync.Mutex
+	b sync.Mutex
+	k int
+}
+
+func (o *Ordered) One() {
+	o.a.Lock()
+	o.b.Lock()
+	o.k++
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+func (o *Ordered) Two() {
+	o.a.Lock()
+	o.b.Lock()
+	o.k = 2
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+// RW stacks read locks, which Go permits: no self-deadlock report.
+type RW struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *RW) DoubleRead() int {
+	r.mu.RLock()
+	r.mu.RLock()
+	x := r.v
+	r.mu.RUnlock()
+	r.mu.RUnlock()
+	return x
+}

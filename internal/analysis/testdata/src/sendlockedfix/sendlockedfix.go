@@ -1,0 +1,97 @@
+// Package sendlockedfix exercises sendlocked: transport sends, channel
+// operations, and blocking selects reachable under a mutex are flagged —
+// directly and through one call level — while unlock-before-send,
+// selects with a default, and goroutine bodies (their own timeline) stay
+// silent.
+package sendlockedfix
+
+import "sync"
+
+// Node mimics a protocol node: a mutex, a channel, and a send helper the
+// checks recognize by the send* naming convention.
+type Node struct {
+	mu    sync.Mutex
+	ch    chan int
+	state int
+}
+
+func (n *Node) sendPlain(v int) {}
+
+// Transport mimics the transport API by type name.
+type Transport struct{}
+
+func (Transport) Send(v int) {}
+
+// BadDirect transmits while holding the lock.
+func (n *Node) BadDirect() {
+	n.mu.Lock()
+	n.state++
+	n.sendPlain(n.state) // want "sendPlain (transport send) while n.mu"
+	n.mu.Unlock()
+}
+
+// BadChan sends on a channel while holding the lock.
+func (n *Node) BadChan(v int) {
+	n.mu.Lock()
+	n.ch <- v // want "channel send while n.mu"
+	n.mu.Unlock()
+}
+
+// BadSelect blocks in a select while the deferred unlock keeps the lock
+// held.
+func (n *Node) BadSelect() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want "blocking select while n.mu"
+	case v := <-n.ch:
+		return v
+	}
+}
+
+// BadTransport sends on the transport under the lock.
+func (n *Node) BadTransport(t Transport) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t.Send(1) // want "Transport.Send while n.mu"
+}
+
+// flush reaches a blocking channel send.
+func (n *Node) flush(v int) {
+	n.ch <- v
+}
+
+// BadTransitive holds the lock across a call that can block.
+func (n *Node) BadTransitive() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.flush(n.state) // want "call can block while n.mu"
+}
+
+// OkTrySend uses a default case: non-blocking, no diagnostic.
+func (n *Node) OkTrySend(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.ch <- v:
+	default:
+	}
+}
+
+// OkUnlockFirst computes under the lock and transmits after releasing.
+func (n *Node) OkUnlockFirst() {
+	n.mu.Lock()
+	v := n.state
+	n.mu.Unlock()
+	n.sendPlain(v)
+	n.ch <- v
+}
+
+// OkGoroutine spawns the send; the goroutine's timeline starts with no
+// locks held, and spawning itself does not block.
+func (n *Node) OkGoroutine() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.sendPlain(1)
+	}()
+}

@@ -1,0 +1,50 @@
+// Package replica exercises NoSuppressPaths for the concurrency checks:
+// the import path ends in internal/replica, where sendlocked, lockorder,
+// and guardedby refuse //lint directives — a deadlock or a blocked
+// election heartbeat is exactly the failure the paper's fault-tolerance
+// story cannot survive, so election safety must not be silenceable.
+package replica
+
+import "sync"
+
+// R mimics a replica with a lock and a send helper.
+type R struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (r *R) sendPlain(v int) {}
+
+// Heartbeat tries to silence a send under the lock; the suppression is
+// refused and the diagnostic survives with the refusal note.
+func (r *R) Heartbeat() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//lint:ignore sendlocked trying to silence the election heartbeat
+	r.sendPlain(1) // want "suppression refused"
+}
+
+// Pair inverts lock order across two methods; the directive on the
+// first witness is refused too.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func (p *Pair) AB() {
+	p.a.Lock()
+	//lint:ignore lockorder claiming the inversion is benign
+	p.b.Lock() // want "suppression refused"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) BA() {
+	p.b.Lock()
+	p.a.Lock() // want "opposite order"
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}

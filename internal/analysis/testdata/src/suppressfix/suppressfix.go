@@ -23,8 +23,9 @@ func Unsuppressed() time.Time {
 }
 
 // WrongCheck names a real check that does not match the diagnostic, so
-// the violation still surfaces.
+// the violation still surfaces — and the directive itself, having
+// suppressed nothing, is reported as unused.
 func WrongCheck() time.Time {
-	//lint:ignore keyleak wrong check name for this site
+	//lint:ignore keyleak wrong check name for this site // want "suppresses nothing"
 	return time.Now() // want "direct time.Now"
 }

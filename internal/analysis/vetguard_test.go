@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -8,6 +9,29 @@ import (
 
 	"mykil/internal/analysis"
 )
+
+// TestFullModuleClean runs every registered check — including the
+// interprocedural lockorder/sendlocked/guardedby/keyflow set — over the
+// entire module and pins zero diagnostics, so the tree can never merge
+// dirty: a new violation anywhere fails this test before CI's vet step
+// even runs.
+func TestFullModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l := getLoader(t)
+	pkgs, err := l.LoadTree(l.ModuleDir)
+	if err != nil {
+		t.Fatalf("LoadTree(%s): %v", l.ModuleDir, err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded from the module root: %d", len(pkgs))
+	}
+	diags := analysis.Run(pkgs, analysis.Checks())
+	for _, d := range diags {
+		t.Errorf("module is not vet-clean: %s", d)
+	}
+}
 
 // TestSeededFixtureTrips guards the guard: if the analyzer ever stops
 // seeing the deliberately-seeded fixture violations, this fails before a
@@ -68,5 +92,33 @@ func TestVetCommandExitCodes(t *testing.T) {
 	out, code = run("-checks", "bogus", "../clock")
 	if code != 2 {
 		t.Fatalf("unknown check: exit %d, want 2\n%s", code, out)
+	}
+
+	// -json: diagnostics as a machine-readable array on stdout (the
+	// summary still goes to stderr), same exit-code contract.
+	cmd := exec.Command(vet, "-json", "testdata/src/clockfix")
+	stdout, err := cmd.Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("-json on seeded fixture: err %v, want exit 1\n%s", err, stdout)
+	}
+	var jd []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Check   string `json:"check"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout, &jd); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout)
+	}
+	if len(jd) == 0 {
+		t.Fatal("-json output is empty on the seeded fixture")
+	}
+	for _, d := range jd {
+		if !strings.HasSuffix(d.File, "clockfix.go") || d.Line == 0 || d.Col == 0 ||
+			d.Check != "clockdiscipline" || !strings.Contains(d.Message, "clock.Clock") {
+			t.Errorf("-json diagnostic has unexpected fields: %+v", d)
+		}
 	}
 }

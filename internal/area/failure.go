@@ -256,7 +256,7 @@ func (c *Controller) parentHousekeeping(now time.Time) {
 		return
 	}
 	if now.Sub(c.parent.lastSent) >= c.cfg.TActive {
-		//lint:ignore journalorder the alive heartbeat carries no new state; the parent-clear journaled below is an independent transition
+		//lint:ignore journalorder the alive heartbeat carries no new state, so there is nothing to journal before it; the parent-clear journaled below is an independent transition on the silence path
 		c.sendPlain(c.parent.info.Addr, wire.KindMemberAlive, wire.MemberAlive{MemberID: c.cfg.ID}, false)
 		c.parent.lastSent = now
 	}

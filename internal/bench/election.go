@@ -1,5 +1,7 @@
 package bench
 
+//lint:file-ignore clockdiscipline benchmarks measure wall-clock elapsed time by design
+
 import (
 	"fmt"
 	"os"
