@@ -10,8 +10,8 @@
 //	mykil-bench -exp joinlat -rsabits 2048 -latency 2ms -iters 5
 //
 // Experiments: storage cpu fig8 fig9 fig10 joinlat protocost rc4 batching
-// arity prune flush model fanout journal election all. Add -csv for
-// machine-readable output.
+// arity prune flush model fanout journal groupcommit election all. Add
+// -csv for machine-readable output.
 package main
 
 import (
@@ -29,7 +29,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|election|megasim|all (megasim only runs when named)")
+		exp     = flag.String("exp", "all", "experiment to run: storage|cpu|fig8|fig9|fig10|joinlat|protocost|rc4|batching|arity|prune|flush|model|fanout|journal|groupcommit|election|megasim|all (megasim only runs when named)")
 		n       = flag.Int("n", bench.PaperGroupSize, "group size")
 		arity   = flag.Int("arity", bench.PaperArity, "auxiliary-key-tree arity (paper's byte arithmetic: 2)")
 		rsaBits = flag.Int("rsabits", 2048, "RSA modulus bits for the latency experiment")
@@ -226,6 +226,22 @@ func run() int {
 		}
 		printTable(r.Table())
 		verdict(r.RecoveryBeatsRejoin(), "journal restart cheaper than whole-area rejoin")
+		return nil
+	})
+
+	runExp("groupcommit", func() error {
+		srows, err := bench.SuiteRekey(0, 0, 0)
+		if err != nil {
+			return err
+		}
+		printTable(bench.SuiteRekeyTable(srows))
+		verdict(bench.SuiteRekeyPoolingHolds(srows), "pooled rekey construction leaner than allocating, for every suite")
+		grows, err := bench.GroupCommitThroughput(0, 0)
+		if err != nil {
+			return err
+		}
+		printTable(bench.GroupCommitTable(grows, 0))
+		verdict(bench.GroupCommitSpeedupHolds(grows, 10), "group commit ≥10x the fsync=always single-writer baseline at equal durability")
 		return nil
 	})
 

@@ -463,6 +463,26 @@ func (tw *taintWalker) callTaint(call *ast.CallExpr) (taintOrigin, bool) {
 		}
 		return taintOrigin{}, false
 	}
+	// The crypt.Suite datapath (calleeKey sees only "" for its interface
+	// calls, so the summary machinery is blind here): Open returns the
+	// decrypted plaintext — in this codebase a key-tree node key or a
+	// data key, so the result is a fresh source. Seal returns
+	// ciphertext, public by construction, so its result kills taint even
+	// when the plaintext argument was a key. SealTo appends ciphertext
+	// to dst, so its result carries exactly dst's prior taint.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isSuiteValue(tw.p.TypeOf(sel.X)) {
+		switch sel.Sel.Name {
+		case "Open":
+			return taintOrigin{desc: exprString(call.Fun) + " (suite-decrypted bytes)", pos: call.Pos(), param: -1}, true
+		case "Seal":
+			return taintOrigin{}, false
+		case "SealTo":
+			if len(call.Args) > 0 {
+				return tw.exprTaint(call.Args[0])
+			}
+			return taintOrigin{}, false
+		}
+	}
 	if tw.sums == nil {
 		return taintOrigin{}, false
 	}
@@ -497,4 +517,37 @@ func (tw *taintWalker) objOf(id *ast.Ident) types.Object {
 		return obj
 	}
 	return tw.p.Info.Defs[id]
+}
+
+// isSuiteValue reports whether t is the crypt.Suite cipher-suite
+// interface, or any type whose method set carries the suite triple
+// (Seal, SealTo, Open). The shape test lets the check recognize the
+// concrete suites and fixture stand-ins without importing crypt;
+// requiring all three names keeps cipher.AEAD (Seal/Open, no SealTo)
+// out.
+func isSuiteValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	d := deref(t)
+	if named, ok := d.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Name() == "crypt" && obj.Name() == "Suite" {
+			return true
+		}
+	}
+	mt := t
+	if _, isIface := d.Underlying().(*types.Interface); !isIface {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			mt = types.NewPointer(t) // include pointer-receiver methods
+		}
+	}
+	found := 0
+	ms := types.NewMethodSet(mt)
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Seal", "SealTo", "Open":
+			found++
+		}
+	}
+	return found == 3
 }

@@ -69,6 +69,55 @@ func Suppressed(s *Session) {
 	fmt.Printf("%x\n", buf)
 }
 
+// Suite mirrors the crypt.Suite cipher-suite shape (Seal, SealTo,
+// Open); keyflow recognizes the triple structurally.
+type Suite interface {
+	Seal(k, plaintext []byte) []byte
+	SealTo(dst, k, plaintext []byte) []byte
+	Open(k, blob []byte) ([]byte, error)
+}
+
+// OpenThenLog decrypts a sealed key-tree blob and logs the plaintext:
+// a Suite Open result is key-grade material, a taint source.
+func OpenThenLog(s Suite, k, blob []byte) {
+	pt, err := s.Open(k, blob)
+	if err != nil {
+		return
+	}
+	log.Printf("recovered %x", pt) // want "pt carries key material copied from s.Open"
+}
+
+// exportNode wraps the suite Open one call level down; the summary
+// carries the source out through the return.
+func exportNode(s Suite, k, blob []byte) []byte {
+	pt, _ := s.Open(k, blob)
+	return pt
+}
+
+// LeakViaOpenReturn logs a helper's decrypted return.
+func LeakViaOpenReturn(s Suite, k, blob []byte) {
+	node := exportNode(s, k, blob)
+	fmt.Printf("%x\n", node) // want "node carries key material copied from exportNode"
+}
+
+// SealIsClean proves the sanitizer direction: ciphertext out of Seal is
+// public even when the plaintext was the key itself, and a SealTo onto
+// a fresh buffer is equally clean. No diagnostics.
+func SealIsClean(s Suite, groupKey []byte) {
+	blob := s.Seal(groupKey, groupKey)
+	fmt.Printf("sealed %x\n", blob)
+	out := s.SealTo(nil, groupKey, groupKey)
+	log.Println(len(out), out)
+}
+
+// SealToDirtyDst appends ciphertext onto a buffer that already holds
+// raw key bytes: SealTo's result inherits the dst taint.
+func SealToDirtyDst(s Suite, groupKey []byte) {
+	buf := append([]byte(nil), groupKey...)
+	buf = s.SealTo(buf, groupKey, []byte("payload"))
+	fmt.Printf("%x\n", buf) // want "buf carries key material copied from groupKey"
+}
+
 // fingerprint folds the key into a short integer tag: the recommended
 // remedy, and integer results never carry taint.
 func fingerprint(b []byte) int {

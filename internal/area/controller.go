@@ -113,6 +113,12 @@ type Config struct {
 	Batching bool
 	// TreeArity sets the auxiliary-key tree fan-out (0 = paper's 4).
 	TreeArity int
+	// Suite names the cipher suite sealing this area's key-tree
+	// ciphertexts and data-key hops ("" = "legacy"). Joining members
+	// advertise a suite mask; a member that cannot speak the area's
+	// suite is denied at join/rejoin rather than handed frames it would
+	// garble.
+	Suite string
 	// Policy selects rejoin behaviour under partition; zero means
 	// DenyOnPartition.
 	Policy PartitionPolicy
@@ -240,9 +246,12 @@ type rejoinSession struct {
 
 // parentState is the controller's membership in its parent area.
 type parentState struct {
-	info     PeerInfo
-	areaID   string
-	view     *keytree.MemberView
+	info   PeerInfo
+	areaID string
+	view   *keytree.MemberView
+	// suite is the parent area's negotiated cipher suite: it opens
+	// parent-relayed EncKeys and seals up-forwarded ones.
+	suite    crypt.Suite
 	lastRecv time.Time
 	lastSent time.Time
 }
@@ -252,6 +261,10 @@ type parentState struct {
 type Controller struct {
 	cfg Config
 	clk clock.Clock
+	// suite is cfg.Suite resolved; it seals key-tree ciphertexts,
+	// welcomes' tickets stay legacy (K_shared interop), and data-key
+	// hops within the area.
+	suite crypt.Suite
 
 	tree    *keytree.Tree
 	members map[string]*memberEntry
@@ -356,9 +369,14 @@ func New(cfg Config) (*Controller, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
+	suite, err := crypt.SuiteByName(cfg.Suite)
+	if err != nil {
+		return nil, fmt.Errorf("area: %w", err)
+	}
 	c := &Controller{
 		cfg:            cfg,
 		clk:            cfg.Clock,
+		suite:          suite,
 		members:        make(map[string]*memberEntry),
 		joinSessions:   make(map[string]*joinSession),
 		rejoinSessions: make(map[string]*rejoinSession),
@@ -400,6 +418,13 @@ func New(cfg Config) (*Controller, error) {
 	c.lastAreaSend = now
 	c.lastRekey = now
 	return c, nil
+}
+
+// suiteSupported reports whether a peer advertising the given suite
+// bitmask can speak this area's configured suite. A zero mask means a
+// pre-negotiation peer that only speaks legacy.
+func (c *Controller) suiteSupported(mask uint64) bool {
+	return crypt.NormalizeSuiteMask(mask)&c.suite.ID().Mask() != 0
 }
 
 // Start launches the controller loop and, if a parent is configured,

@@ -103,6 +103,7 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 					AreaID:     c.cfg.AreaID,
 					BackupAddr: c.backupAddr(),
 					BackupPub:  c.backupPubDER(),
+					Suite:      c.suite.ID(),
 				},
 				sign: true,
 			})
@@ -119,6 +120,7 @@ func (c *Controller) applyBatch(joins []pendingAdmission, leaves []string) {
 					AreaID:       c.cfg.AreaID,
 					BackupAddr:   c.backupAddr(),
 					BackupPub:    c.backupPubDER(),
+					Suite:        c.suite.ID(),
 				},
 			})
 		}
@@ -248,15 +250,18 @@ func (c *Controller) handleData(f *wire.Frame) {
 // up (Fig. 2). The loop snapshots key material and destinations; the
 // crypto and encoding run as one ordered data-plane job.
 func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
+	suite := c.suite
 	areaKey := c.tree.AreaKey()
 	history := append([]crypt.SymKey(nil), c.areaKeyHistory...)
 	dests := c.memberAddrsExcept(from)
 	var parentAddr, parentArea string
 	var parentKey crypt.SymKey
+	var parentSuite crypt.Suite
 	if c.parent != nil {
 		parentAddr = c.parent.info.Addr
 		parentArea = c.parent.areaID
 		parentKey = c.parent.view.AreaKey()
+		parentSuite = c.parent.suite
 		c.parent.lastSent = c.clk.Now()
 	}
 	c.lastAreaSend = c.clk.Now()
@@ -266,13 +271,13 @@ func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
 		// If the sender sealed with an area key we have since rotated
 		// (its rekey was still in flight), recover and re-seal under the
 		// current key.
-		dataKey, stale, err := openAreaDataKey(areaKey, history, d.EncKey)
+		dataKey, stale, err := openAreaDataKey(suite, areaKey, history, d.EncKey)
 		if err != nil {
 			c.cfg.Logf("%s: undecipherable data from %s dropped", id, origin)
 			return nil
 		}
 		if stale {
-			d.EncKey = crypt.Seal(areaKey, dataKey[:])
+			d.EncKey = suite.Seal(areaKey, dataKey[:])
 			c.trace.Event(obs.ProtoReseal, origin, "reseal-stale-key")
 		}
 		var out []outbound
@@ -284,9 +289,11 @@ func (c *Controller) relayOwnAreaData(d wire.Data, from string) {
 			c.cDataRelayed.Inc()
 		}
 		if parentAddr != "" {
+			// The Iolus-style hop re-seal crosses the suite boundary too:
+			// the parent link's negotiated suite seals the upward copy.
 			up := d
 			up.FromArea = parentArea
-			up.EncKey = crypt.Seal(parentKey, dataKey[:])
+			up.EncKey = parentSuite.Seal(parentKey, dataKey[:])
 			if body, err := wire.PlainBody(up); err == nil {
 				out = append(out, outbound{parentAddr, &wire.Frame{Kind: wire.KindData, From: self, Body: body}})
 				c.cDataForwarded.Inc()
@@ -304,6 +311,8 @@ func (c *Controller) relayParentData(d wire.Data, from string) {
 		return
 	}
 	parentKey := c.parent.view.AreaKey()
+	parentSuite := c.parent.suite
+	suite := c.suite
 	areaKey := c.tree.AreaKey()
 	areaID := c.cfg.AreaID
 	dests := c.memberAddrsExcept(from)
@@ -311,12 +320,12 @@ func (c *Controller) relayParentData(d wire.Data, from string) {
 	id, self := c.cfg.ID, c.cfg.Transport.Addr()
 
 	c.submitData(func() []outbound {
-		raw, err := crypt.Open(parentKey, d.EncKey)
+		raw, err := parentSuite.Open(parentKey, d.EncKey)
 		if err == nil {
 			var dataKey crypt.SymKey
 			if dataKey, err = crypt.SymKeyFromBytes(raw); err == nil {
 				d.FromArea = areaID
-				d.EncKey = crypt.Seal(areaKey, dataKey[:])
+				d.EncKey = suite.Seal(areaKey, dataKey[:])
 			}
 		}
 		if err != nil {
@@ -364,16 +373,17 @@ func (c *Controller) rememberAreaKey(k crypt.SymKey) {
 }
 
 // openAreaDataKey recovers K_d from an own-area data packet, trying the
-// current area key first and then recent predecessors. stale reports
-// whether an old key was needed. A pure function so data-plane workers
-// can run it on loop-snapshotted key material.
-func openAreaDataKey(current crypt.SymKey, history []crypt.SymKey, encKey []byte) (key crypt.SymKey, stale bool, err error) {
-	if raw, err := crypt.Open(current, encKey); err == nil {
+// current area key first and then recent predecessors, all under the
+// area's cipher suite. stale reports whether an old key was needed. A
+// pure function so data-plane workers can run it on loop-snapshotted
+// key material.
+func openAreaDataKey(s crypt.Suite, current crypt.SymKey, history []crypt.SymKey, encKey []byte) (key crypt.SymKey, stale bool, err error) {
+	if raw, err := s.Open(current, encKey); err == nil {
 		k, kerr := crypt.SymKeyFromBytes(raw)
 		return k, false, kerr
 	}
 	for _, old := range history {
-		if raw, err := crypt.Open(old, encKey); err == nil {
+		if raw, err := s.Open(old, encKey); err == nil {
 			k, kerr := crypt.SymKeyFromBytes(raw)
 			return k, true, kerr
 		}

@@ -3,6 +3,7 @@ package area
 import (
 	"time"
 
+	"mykil/internal/crypt"
 	"mykil/internal/intern"
 	"mykil/internal/keytree"
 	"mykil/internal/obs"
@@ -20,6 +21,9 @@ func (c *Controller) requestParent(candidate PeerInfo) {
 		ACAddr:    c.cfg.Transport.Addr(),
 		AreaID:    c.cfg.AreaID,
 		Timestamp: c.clk.Now(),
+		// A controller links code for every registered suite, so it can
+		// join a parent running any of them.
+		SuiteMask: crypt.AllSuitesMask(),
 	}, true)
 }
 
@@ -79,6 +83,12 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 		c.resendPath(req.ACID)
 		return
 	}
+	if !c.suiteSupported(req.SuiteMask) {
+		c.sendSealed(req.ACAddr, pub, wire.KindAreaJoinDenied, wire.AreaJoinDenied{
+			ACID: req.ACID, Reason: "cipher suite not supported: area requires " + c.suite.Name(),
+		}, true)
+		return
+	}
 
 	seed := c.armRekeySeed()
 	oldAreaKey := c.tree.AreaKey()
@@ -112,6 +122,7 @@ func (c *Controller) handleAreaJoinReq(f *wire.Frame) {
 		Path:         res.Joined[keytree.MemberID(req.ACID)],
 		Epoch:        res.Epoch,
 		Timestamp:    c.clk.Now(),
+		Suite:        c.suite.ID(),
 	}, true)
 	c.multicastKeyUpdate(res, []pendingAdmission{{entry: c.members[req.ACID]}})
 	c.sendDisplaced(res)
@@ -155,12 +166,22 @@ func (c *Controller) handleAreaJoinAck(f *wire.Frame) {
 		c.cfg.Logf("%s: unsolicited area-join ack from %s", c.cfg.ID, ack.ParentID)
 		return
 	}
+	psuite, err := crypt.SuiteByID(ack.Suite)
+	if err != nil {
+		// A parent demanding a suite we do not link cannot relay for us;
+		// treat the ack as a denial and try the next candidate.
+		c.cfg.Logf("%s: parent %s negotiated unknown cipher suite %d; trying next candidate",
+			c.cfg.ID, ack.ParentID, uint8(ack.Suite))
+		c.tryNextParent()
+		return
+	}
 	c.reparentTarget = ""
 	now := c.clk.Now()
 	c.parent = &parentState{
 		info:     PeerInfo{ID: ack.ParentID, Addr: f.From, Pub: pub},
 		areaID:   ack.ParentAreaID,
-		view:     keytree.NewMemberView(ack.Path, ack.Epoch, keytree.SealingEncryptor{}),
+		view:     keytree.NewMemberView(ack.Path, ack.Epoch, keytree.NewSuiteEncryptor(psuite)),
+		suite:    psuite,
 		lastRecv: now,
 		lastSent: now,
 	}

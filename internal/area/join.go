@@ -97,6 +97,15 @@ func (c *Controller) processJoinToAC(p *parkedJoin) {
 		}, true)
 		return
 	}
+	// Suite negotiation: the area runs one suite; a client that cannot
+	// speak it would only receive frames it garbles, so deny up front.
+	if !c.suiteSupported(msg.SuiteMask) {
+		delete(c.joinSessions, msg.ClientID)
+		c.sendSealed(msg.ClientAddr, sess.clientPub, wire.KindJoinDenied, wire.JoinDenied{
+			ClientID: msg.ClientID, Reason: "cipher suite not supported: area requires " + c.suite.Name(),
+		}, true)
+		return
+	}
 	delete(c.joinSessions, msg.ClientID)
 
 	now := c.clk.Now()
@@ -218,6 +227,14 @@ func (c *Controller) handleRejoinRequest(f *wire.Frame) {
 		}, true)
 		return
 	}
+	// Suite negotiation mirrors the join path: deny before the handshake
+	// spends a challenge round trip on a member we cannot serve.
+	if !c.suiteSupported(req.SuiteMask) {
+		c.sendSealed(req.ClientAddr, clientPub, wire.KindRejoinDenied, wire.RejoinDenied{
+			ClientID: req.ClientID, Reason: "cipher suite not supported: area requires " + c.suite.Name(),
+		}, true)
+		return
+	}
 	sess := &rejoinSession{
 		clientID:   req.ClientID,
 		clientAddr: req.ClientAddr,
@@ -281,6 +298,7 @@ func (c *Controller) handleRejoinResponse(f *wire.Frame) {
 			AreaID:     c.cfg.AreaID,
 			BackupAddr: c.backupAddr(),
 			BackupPub:  c.backupPubDER(),
+			Suite:      c.suite.ID(),
 		}, true)
 		return
 	}

@@ -100,9 +100,14 @@ func (c *Controller) treeKeyGen() crypt.SymKey {
 // restore paths (replica state, journal) build identically-behaving trees.
 func (c *Controller) treeConfig() keytree.Config {
 	return keytree.Config{
-		Arity:    c.cfg.TreeArity,
-		KeyGen:   c.treeKeyGen,
-		Parallel: c.treeParallel,
+		Arity:     c.cfg.TreeArity,
+		KeyGen:    c.treeKeyGen,
+		Parallel:  c.treeParallel,
+		Encryptor: keytree.NewSuiteEncryptor(c.suite),
+		// The controller consumes each BatchResult synchronously (the
+		// update is wire-encoded inside applyBatch before any further
+		// tree operation), so the zero-alloc scratch-reusing path is safe.
+		ReuseUpdates: true,
 	}
 }
 
@@ -387,10 +392,14 @@ func (c *Controller) replayRecord(p []byte) error {
 			return fmt.Errorf("parent key: %w", err)
 		}
 		now := c.clk.Now()
+		// The parent-set record predates per-link suite bytes; restored
+		// links assume the uniform-deployment suite (our own) until the
+		// next AreaJoinAck re-negotiates.
 		c.parent = &parentState{
 			info:     PeerInfo{ID: pse.ID, Addr: pse.Addr, Pub: pub},
 			areaID:   pse.AreaID,
-			view:     keytree.NewMemberView(pse.Path, pse.Epoch, keytree.SealingEncryptor{}),
+			view:     keytree.NewMemberView(pse.Path, pse.Epoch, keytree.NewSuiteEncryptor(c.suite)),
+			suite:    c.suite,
 			lastRecv: now,
 			lastSent: now,
 		}

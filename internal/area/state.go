@@ -261,10 +261,13 @@ func NewFromState(cfg Config, st *State) (*Controller, error) {
 			c.Close()
 			return nil, fmt.Errorf("area: parent key: %w", err)
 		}
+		// Snapshots predate per-link suite bytes; assume the
+		// uniform-deployment suite (our own) until re-negotiated.
 		c.parent = &parentState{
 			info:     PeerInfo{ID: st.Parent.ID, Addr: st.Parent.Addr, Pub: pub},
 			areaID:   st.Parent.AreaID,
-			view:     keytree.NewMemberView(st.Parent.Path, st.Parent.Epoch, keytree.SealingEncryptor{}),
+			view:     keytree.NewMemberView(st.Parent.Path, st.Parent.Epoch, keytree.NewSuiteEncryptor(c.suite)),
+			suite:    c.suite,
 			lastRecv: now,
 			lastSent: now,
 		}

@@ -31,9 +31,10 @@ import (
 // keys are selected by raising Config.RSABits.
 const DefaultRSABits = 1024
 
-// Config describes a deployment. Prefer the functional-options form
-// core.New(core.WithAreas(2), ...); the struct remains for one release
-// as the NewFromConfig shim and as the option functions' target.
+// Config describes a deployment. Build one with the functional-options
+// form core.New(core.WithAreas(2), ...) — the struct is the option
+// functions' target (WithConfig seeds it wholesale for tests that want
+// a literal).
 type Config struct {
 	// NumAreas is the number of areas (and controllers). Controllers
 	// form a tree: controller i's parent is controller (i-1)/AreaFanout.
@@ -46,6 +47,13 @@ type Config struct {
 	Batching bool
 	// TreeArity sets auxiliary-key-tree fan-out (0 = paper's 4).
 	TreeArity int
+	// CipherSuite names the symmetric suite every controller runs for
+	// key-tree ciphertexts and hop-by-hop data-key sealing: "legacy"
+	// (the default, and the paper's HMAC+stream construction), "aes-gcm",
+	// or "chacha20-poly1305". Members advertise what they speak at
+	// join/rejoin and controllers deny joiners that cannot follow the
+	// area's suite.
+	CipherSuite string
 	// WithBackups gives every controller a §IV-C primary-backup replica.
 	// Equivalent to NumReplicas=1; kept for compatibility.
 	WithBackups bool
@@ -134,7 +142,7 @@ type Group struct {
 	controllers []*area.Controller
 	ctrlInfo    []wire.ACInfo
 	backups     []*replica.Backup
-	pool        keySource
+	pool        crypt.KeySource
 	rsKeys      *crypt.KeyPair
 	kShared     crypt.SymKey
 	metrics     *obs.Registry
@@ -151,21 +159,6 @@ type Group struct {
 	transports []transport.Transport
 	closed     bool
 }
-
-// keySource is where the deployment draws principal key pairs from:
-// crypt.Pool (fresh keygen, the default) or a shared deterministic
-// crypt.KeyPool opted into with WithTestKeyPool.
-type keySource interface {
-	Warm(n int) error
-	Get() (*crypt.KeyPair, error)
-}
-
-// sharedKeySource adapts crypt.KeyPool; Warm is a no-op because the
-// pool is fully generated at construction.
-type sharedKeySource struct{ p *crypt.KeyPool }
-
-func (s sharedKeySource) Warm(int) error               { return nil }
-func (s sharedKeySource) Get() (*crypt.KeyPair, error) { return s.p.Next(), nil }
 
 // ACAddr returns controller i's transport address.
 func ACAddr(i int) string { return fmt.Sprintf("ac-%d", i) }
@@ -189,11 +182,12 @@ func ReplicaAddr(i, r int) string {
 // RSAddr is the registration server's address.
 const RSAddr = "rs"
 
-// NewFromConfig builds and starts a deployment from a Config struct.
-//
-// Deprecated: use New with functional options. This shim remains for
-// one release.
-func NewFromConfig(cfg Config) (*Group, error) {
+// build constructs and starts a deployment from an assembled Config.
+// It is the single construction path behind New; the exported
+// NewFromConfig shim that used to wrap it is gone (deprecated for one
+// release by PR 5) — external callers assemble the same Config through
+// functional options.
+func build(cfg Config) (*Group, error) {
 	if cfg.NumAreas <= 0 {
 		cfg.NumAreas = 1
 	}
@@ -227,7 +221,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 		metrics: obs.NewRegistry(),
 	}
 	if cfg.KeyPool != nil {
-		g.pool = sharedKeySource{cfg.KeyPool}
+		g.pool = cfg.KeyPool
 	} else {
 		g.pool = crypt.NewPool(cfg.RSABits)
 	}
@@ -252,14 +246,11 @@ func NewFromConfig(cfg Config) (*Group, error) {
 		return nil, fmt.Errorf("core: warming key pool: %w", err)
 	}
 
-	var err error
-	g.rsKeys, err = g.pool.Get()
-	if err != nil {
-		return nil, err
-	}
+	g.rsKeys = g.pool.Next()
 
 	// All component transports first: with a real-network factory the
 	// directory must carry listener-assigned addresses.
+	var err error
 	acTrs := make([]transport.Transport, cfg.NumAreas)
 	for i := range acTrs {
 		if acTrs[i], err = cfg.NewTransport(ACAddr(i)); err != nil {
@@ -288,10 +279,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	ctrlKeys := make([]*crypt.KeyPair, cfg.NumAreas)
 	g.ctrlInfo = make([]wire.ACInfo, cfg.NumAreas)
 	for i := 0; i < cfg.NumAreas; i++ {
-		ctrlKeys[i], err = g.pool.Get()
-		if err != nil {
-			return nil, err
-		}
+		ctrlKeys[i] = g.pool.Next()
 		g.ctrlInfo[i] = wire.ACInfo{
 			ID:     ACID(i),
 			Addr:   acTrs[i].Addr(),
@@ -304,15 +292,15 @@ func NewFromConfig(cfg Config) (*Group, error) {
 	for i := range repKeys {
 		repKeys[i] = make([]*crypt.KeyPair, cfg.NumReplicas)
 		for r := range repKeys[i] {
-			repKeys[i][r], err = g.pool.Get()
-			if err != nil {
-				return nil, err
-			}
+			repKeys[i][r] = g.pool.Next()
 		}
 	}
 
-	// Journal sync discipline, validated once up front.
+	// Journal sync discipline and cipher suite, validated once up front.
 	if _, err := journal.ParseFsyncPolicy(cfg.FsyncPolicy); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if _, err := crypt.SuiteByName(cfg.CipherSuite); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
@@ -329,6 +317,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 			Directory:        g.ctrlInfo,
 			Batching:         cfg.Batching,
 			TreeArity:        cfg.TreeArity,
+			Suite:            cfg.CipherSuite,
 			Policy:           cfg.Policy,
 			SkipRejoinVerify: cfg.SkipRejoinVerify,
 			DataWorkers:      cfg.DataWorkers,
@@ -461,6 +450,7 @@ func NewFromConfig(cfg Config) (*Group, error) {
 					Directory:        g.ctrlInfo,
 					Batching:         cfg.Batching,
 					TreeArity:        cfg.TreeArity,
+					Suite:            cfg.CipherSuite,
 					Policy:           cfg.Policy,
 					SkipRejoinVerify: cfg.SkipRejoinVerify,
 					DataWorkers:      cfg.DataWorkers,
@@ -669,11 +659,7 @@ func (g *Group) splitFrom(i int, migrate []string) (string, int, error) {
 	if err != nil {
 		return "", 0, fmt.Errorf("core: split of %s: %w", ACID(i), err)
 	}
-	keys, err := g.pool.Get()
-	if err != nil {
-		_ = tr.Close()
-		return "", 0, err
-	}
+	keys := g.pool.Next()
 	info := wire.ACInfo{ID: newID, Addr: tr.Addr(), PubDER: keys.Public().Marshal()}
 
 	acCfg := area.Config{
@@ -694,6 +680,7 @@ func (g *Group) splitFrom(i int, migrate []string) (string, int, error) {
 		Directory:        append(g.Directory(), info),
 		Batching:         g.cfg.Batching,
 		TreeArity:        g.cfg.TreeArity,
+		Suite:            g.cfg.CipherSuite,
 		Policy:           g.cfg.Policy,
 		SkipRejoinVerify: g.cfg.SkipRejoinVerify,
 		DataWorkers:      g.cfg.DataWorkers,
@@ -895,6 +882,11 @@ type MemberConfig struct {
 	// DataCipher selects the bulk data cipher (zero = AES;
 	// wire.CipherRC4 = the paper's §V-E hand-held path).
 	DataCipher wire.DataCipher
+	// Suites is the cipher-suite bitmask (1<<crypt.SuiteID) the member
+	// advertises at join/rejoin; zero means every registered suite. A
+	// controller whose area suite falls outside the mask denies the
+	// join explicitly.
+	Suites uint64
 }
 
 // NewMember creates (but does not join) a member with the given ID. On
@@ -908,10 +900,7 @@ func (g *Group) NewMember(id string, mc MemberConfig) (*member.Member, error) {
 	if err != nil {
 		return nil, err
 	}
-	keys, err := g.pool.Get()
-	if err != nil {
-		return nil, err
-	}
+	keys := g.pool.Next()
 	m, err := member.New(member.Config{
 		ID:         id,
 		Transport:  tr,
@@ -923,6 +912,7 @@ func (g *Group) NewMember(id string, mc MemberConfig) (*member.Member, error) {
 		OnData:     mc.OnData,
 		AutoRejoin: mc.AutoRejoin,
 		DataCipher: mc.DataCipher,
+		Suites:     mc.Suites,
 		TActive:    g.cfg.TActive,
 		TIdle:      g.cfg.TIdle,
 		OpTimeout:  g.cfg.OpTimeout,

@@ -27,7 +27,7 @@ func New(opts ...Option) (*Group, error) {
 			opt(&cfg)
 		}
 	}
-	return NewFromConfig(cfg)
+	return build(cfg)
 }
 
 // WithConfig seeds the whole Config struct at once, for callers mid-way
@@ -52,6 +52,11 @@ func WithBatching() Option { return func(c *Config) { c.Batching = true } }
 
 // WithTreeArity sets auxiliary-key-tree fan-out.
 func WithTreeArity(n int) Option { return func(c *Config) { c.TreeArity = n } }
+
+// WithCipherSuite selects the symmetric suite every controller seals
+// key-tree ciphertexts and data-key hops with: "legacy" (the default),
+// "aes-gcm", or "chacha20-poly1305".
+func WithCipherSuite(name string) Option { return func(c *Config) { c.CipherSuite = name } }
 
 // WithBackups gives every controller a §IV-C primary-backup replica.
 // Equivalent to WithReplicas(1).

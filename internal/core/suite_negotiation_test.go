@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mykil/internal/crypt"
+	"mykil/internal/member"
+)
+
+// TestCrossSuiteNegotiationMatrix drives every (member suite mask ×
+// area suite) cell through the real join protocol: the outcome must be
+// either an agreed suite with intact end-to-end delivery or an explicit
+// deny naming the area's suite — never a garbled frame or a hang.
+func TestCrossSuiteNegotiationMatrix(t *testing.T) {
+	masks := []struct {
+		name string
+		mask uint64
+	}{
+		{"zero(=all)", 0},
+		{"legacy-only", crypt.SuiteLegacy.Mask()},
+		{"gcm-only", crypt.SuiteAESGCM.Mask()},
+		{"chacha-only", crypt.SuiteChaCha20Poly1305.Mask()},
+		{"all", crypt.AllSuitesMask()},
+	}
+	for _, s := range crypt.Suites() {
+		s := s
+		t.Run("area="+s.Name(), func(t *testing.T) {
+			opts := append(fastTiming(1), WithCipherSuite(s.Name()))
+			g, err := New(opts...)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			defer g.Close()
+
+			// The reference member speaks everything; it witnesses that
+			// admitted probes share its area key stream.
+			witness := &collector{}
+			ref, err := g.AddMember("ref", MemberConfig{OnData: witness.onData})
+			if err != nil {
+				t.Fatalf("reference member join: %v", err)
+			}
+
+			for i, mc := range masks {
+				admit := mc.mask == 0 || mc.mask&s.ID().Mask() != 0
+				id := fmt.Sprintf("probe-%d", i)
+				m, err := g.NewMember(id, MemberConfig{Suites: mc.mask, OnData: (&collector{}).onData})
+				if err != nil {
+					t.Fatalf("%s: NewMember: %v", mc.name, err)
+				}
+				err = m.Join()
+				if !admit {
+					if err == nil {
+						t.Fatalf("%s: joined an area running %s without advertising it", mc.name, s.Name())
+					}
+					if !errors.Is(err, member.ErrDenied) {
+						t.Fatalf("%s: want explicit ErrDenied, got: %v", mc.name, err)
+					}
+					if !strings.Contains(err.Error(), s.Name()) {
+						t.Fatalf("%s: deny reason should name the area suite %s: %v", mc.name, s.Name(), err)
+					}
+					m.Close()
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s: join should agree on %s: %v", mc.name, s.Name(), err)
+				}
+				// Prove the agreed suite produces intelligible frames both
+				// ways: the probe multicasts and the reference must decrypt
+				// the exact payload.
+				msg := fmt.Sprintf("hello-from-%s", id)
+				if err := m.Send([]byte(msg)); err != nil {
+					t.Fatalf("%s: send: %v", mc.name, err)
+				}
+				waitFor(t, mc.name+" delivery", 5*time.Second, func() bool {
+					return witness.has(id + ":" + msg)
+				})
+				if err := m.Leave(); err != nil {
+					t.Fatalf("%s: leave: %v", mc.name, err)
+				}
+				m.Close()
+			}
+			_ = ref
+		})
+	}
+}

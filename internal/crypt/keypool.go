@@ -89,6 +89,10 @@ func (p *KeyPool) Next() *KeyPair {
 	return p.keys[int(p.next.Add(1)-1)%len(p.keys)]
 }
 
+// Warm satisfies KeySource; the pool is fully generated at construction,
+// so there is nothing to pre-warm.
+func (p *KeyPool) Warm(int) error { return nil }
+
 // At returns pool key i (mod pool size), for callers that want a stable
 // principal→key mapping independent of call order.
 func (p *KeyPool) At(i int) *KeyPair {

@@ -4,6 +4,22 @@ import (
 	"sync"
 )
 
+// KeySource is where a deployment draws principal key pairs from. Both
+// implementations in this package satisfy it — Pool (fresh keygen, the
+// production default) and KeyPool (shared deterministic test keys) — so
+// call sites program against the interface instead of switching on the
+// concrete type. Next panics on generation failure (an entropy failure
+// the process must not continue past); Warm pre-generates where the
+// source supports it and is a no-op otherwise.
+type KeySource interface {
+	// Next returns the source's next key pair.
+	Next() *KeyPair
+	// Warm pre-generates n key pairs where generation is on-demand.
+	Warm(n int) error
+	// Bits reports the modulus size of the keys produced.
+	Bits() int
+}
+
 // Pool hands out RSA key pairs, generating them in parallel ahead of
 // demand. Protocol experiments stand up hundreds of principals; generating
 // each key on the critical path would dominate runtime, so the pool
@@ -37,9 +53,11 @@ func (p *Pool) Get() (*KeyPair, error) {
 	return GenerateKeyPair(p.bits)
 }
 
-// MustGet returns a fresh key pair or panics. Intended for tests and
-// example programs where key generation failure is unrecoverable.
-func (p *Pool) MustGet() *KeyPair {
+// Next returns a fresh key pair or panics on generation failure — the
+// KeySource form of Get, for callers where keygen failure is
+// unrecoverable. (This absorbed the old MustGet; Pool and KeyPool now
+// share the one name.)
+func (p *Pool) Next() *KeyPair {
 	kp, err := p.Get()
 	if err != nil {
 		panic(err)

@@ -36,6 +36,13 @@ func (j *Journal) ExportFrom(fromLSN uint64) (*Export, error) {
 	if j.closed {
 		return nil, ErrClosed
 	}
+	// The segment walk below reads the live files and expects every
+	// assigned LSN to be on disk; under FsyncGroup, records may still sit
+	// in the pending pile, so wait out any round in flight and flush.
+	j.awaitGroupIdleLocked()
+	if err := j.flushPendingLocked(); err != nil {
+		return nil, err
+	}
 	if fromLSN == 0 {
 		fromLSN = 1
 	}

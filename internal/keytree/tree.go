@@ -55,9 +55,17 @@ type Config struct {
 	// Parallel, if set, runs n independent tasks (task(i) for i in
 	// [0,n)) concurrently and returns when all have completed. Large
 	// updates use it to fan per-entry key encryption out across cores;
-	// the Encryptor must then be safe for concurrent use (both provided
+	// the Encryptor must then be safe for concurrent use (all provided
 	// implementations are). Nil means serial encryption.
 	Parallel func(n int, task func(i int))
+	// ReuseUpdates, if set, makes BatchResult.Update (its Entries slice
+	// AND every entry's Ciphertext) alias tree-owned scratch that is
+	// overwritten by the NEXT tree operation. Combined with an Encryptor
+	// implementing AppendEncryptor, steady-state rekey construction then
+	// performs zero heap allocations. Callers must fully consume (encode
+	// or copy) each update before issuing another operation; the area
+	// controller qualifies because it encodes rekey frames synchronously.
+	ReuseUpdates bool
 }
 
 // parallelUpdateMin is the entry count below which an update is encrypted
@@ -108,7 +116,36 @@ type Tree struct {
 	// ablation flag, and stale heap entries may still reference them),
 	// so the arena only ever grows, one chunk at a time.
 	chunks [][]node
+
+	// Reusable update-construction scratch, live only under
+	// Config.ReuseUpdates: the KeyUpdate handed out by the last
+	// operation, its entries' ciphertext arena, and the ordering/pair
+	// buffers buildUpdate works in. Each operation overwrites all four.
+	updScratch   KeyUpdate
+	ctArena      []byte
+	nodesScratch []*node
+	pairsScratch []encPair
+	sorter       nodeSorter
 }
+
+// nodeSorter orders update nodes deepest-first (ties by ID) through a
+// pointer receiver: sort.Slice boxes its slice and closure arguments on
+// every call, while sort.Sort on a tree-owned *nodeSorter does not —
+// which keeps the ReuseUpdates construction path allocation-free.
+type nodeSorter struct{ nodes []*node }
+
+func (s *nodeSorter) Len() int { return len(s.nodes) }
+func (s *nodeSorter) Less(i, j int) bool {
+	if s.nodes[i].depth != s.nodes[j].depth {
+		return s.nodes[i].depth > s.nodes[j].depth
+	}
+	return s.nodes[i].id < s.nodes[j].id
+}
+func (s *nodeSorter) Swap(i, j int) { s.nodes[i], s.nodes[j] = s.nodes[j], s.nodes[i] }
+
+// encPair is one pending entry encryption: new key `key` wrapped under
+// `under`.
+type encPair struct{ under, key crypt.SymKey }
 
 // New creates an empty tree.
 func New(cfg Config) *Tree {
@@ -662,29 +699,32 @@ func (t *Tree) prune(leaf *node) {
 func (t *Tree) buildUpdate(changed map[NodeID]*node, fresh map[NodeID]bool,
 	oldKeys map[NodeID]crypt.SymKey, leaveMode bool) *KeyUpdate {
 
-	nodes := make([]*node, 0, len(changed))
+	reuse := t.cfg.ReuseUpdates
+	nodes := t.nodesScratch[:0]
+	if !reuse {
+		nodes = make([]*node, 0, len(changed))
+	}
 	for _, n := range changed {
 		nodes = append(nodes, n)
 	}
 	// Bottom-up: deepest first so members can apply entries sequentially.
 	// Ties broken by ID for deterministic output.
-	sort.Slice(nodes, func(i, j int) bool {
-		if nodes[i].depth != nodes[j].depth {
-			return nodes[i].depth > nodes[j].depth
-		}
-		return nodes[i].id < nodes[j].id
-	})
+	t.sorter.nodes = nodes
+	sort.Sort(&t.sorter)
 
 	// Two phases: collect every entry's structure and key pair first,
 	// then fill the ciphertexts — serially, or fanned out through
 	// Config.Parallel for large updates. The entry order is identical
 	// either way (it was fixed by the collection pass).
-	type encPair struct{ under, key crypt.SymKey }
-	u := &KeyUpdate{Epoch: t.epoch}
+	var u *KeyUpdate
 	var pairs []encPair
-	add := func(nodeID, under NodeID, underKey, key crypt.SymKey) {
-		u.Entries = append(u.Entries, Entry{Node: nodeID, Under: under})
-		pairs = append(pairs, encPair{underKey, key})
+	if reuse {
+		t.updScratch = KeyUpdate{Epoch: t.epoch, Entries: t.updScratch.Entries[:0]}
+		u = &t.updScratch
+		pairs = t.pairsScratch[:0]
+	} else {
+		u = &KeyUpdate{Epoch: t.epoch}
+		pairs = make([]encPair, 0, len(changed))
 	}
 	for _, n := range nodes {
 		if fresh[n.id] {
@@ -704,11 +744,41 @@ func (t *Tree) buildUpdate(changed map[NodeID]*node, fresh map[NodeID]bool,
 					// paths by unicast.
 					continue
 				}
-				add(n.id, c.id, c.key, n.key)
+				u.Entries = append(u.Entries, Entry{Node: n.id, Under: c.id})
+				pairs = append(pairs, encPair{c.key, n.key})
 			}
 		} else {
-			add(n.id, n.id, oldKeys[n.id], n.key)
+			u.Entries = append(u.Entries, Entry{Node: n.id, Under: n.id})
+			pairs = append(pairs, encPair{oldKeys[n.id], n.key})
 		}
+	}
+	if reuse {
+		// Keep grown capacity for the next operation.
+		t.nodesScratch = nodes
+		t.pairsScratch = pairs
+	}
+
+	// Ciphertext placement: with an appending encryptor and scratch
+	// reuse, all entries share one arena, each assigned a disjoint
+	// zero-length sub-slice up front so parallel fills stay race-free.
+	// Otherwise every entry's ciphertext is its own fresh allocation.
+	ae, appending := t.cfg.Encryptor.(AppendEncryptor)
+	if appending && reuse {
+		ctLen := ae.KeyCiphertextLen()
+		if need := len(pairs) * ctLen; cap(t.ctArena) < need {
+			t.ctArena = make([]byte, 0, need)
+		}
+		arena := t.ctArena[:cap(t.ctArena)]
+		if t.cfg.Parallel != nil && len(pairs) >= parallelUpdateMin {
+			t.cfg.Parallel(len(pairs), func(i int) {
+				u.Entries[i].Ciphertext = ae.EncryptKeyTo(arena[i*ctLen:i*ctLen:(i+1)*ctLen], pairs[i].under, pairs[i].key)
+			})
+		} else {
+			for i := range pairs {
+				u.Entries[i].Ciphertext = ae.EncryptKeyTo(arena[i*ctLen:i*ctLen:(i+1)*ctLen], pairs[i].under, pairs[i].key)
+			}
+		}
+		return u
 	}
 	encrypt := func(i int) {
 		u.Entries[i].Ciphertext = t.cfg.Encryptor.EncryptKey(pairs[i].under, pairs[i].key)

@@ -3,6 +3,7 @@ package keytree
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mykil/internal/crypt"
 )
@@ -203,11 +204,41 @@ type Encryptor interface {
 	DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt.SymKey, error)
 }
 
+// AppendEncryptor is the zero-alloc extension of Encryptor: fixed-size
+// ciphertexts appended into caller-owned buffers. Trees whose Encryptor
+// implements it build batch-rekey updates into one reusable arena
+// instead of one heap object per entry (see Config.ReuseUpdates).
+type AppendEncryptor interface {
+	Encryptor
+	// EncryptKeyTo appends EncryptKey's output to dst and returns the
+	// extended slice. Exactly KeyCiphertextLen bytes are appended; no
+	// allocation occurs when dst has capacity.
+	EncryptKeyTo(dst []byte, under, payload crypt.SymKey) []byte
+	// KeyCiphertextLen is the fixed length of one wrapped key.
+	KeyCiphertextLen() int
+}
+
+// keyBufPool holds key-sized scratch for the append paths: a stack
+// array passed across the crypt.Suite interface boundary would escape
+// to the heap per call, so payload copies come from here instead.
+var keyBufPool = sync.Pool{New: func() any { return new([crypt.SymKeyLen]byte) }}
+
+// sealKeyTo appends suite-sealed payload to dst without allocating
+// beyond what dst capacity requires.
+func sealKeyTo(s crypt.Suite, dst []byte, under, payload crypt.SymKey) []byte {
+	buf := keyBufPool.Get().(*[crypt.SymKeyLen]byte)
+	*buf = payload
+	dst = s.SealTo(dst, under, buf[:])
+	keyBufPool.Put(buf)
+	return dst
+}
+
 // SealingEncryptor wraps keys with real authenticated encryption
-// (crypt.Seal/Open). Use for anything security-relevant.
+// (crypt.Seal/Open) in the legacy construction. Use for anything
+// security-relevant where no suite has been negotiated.
 type SealingEncryptor struct{}
 
-var _ Encryptor = SealingEncryptor{}
+var _ AppendEncryptor = SealingEncryptor{}
 
 // EncryptKey implements Encryptor.
 func (SealingEncryptor) EncryptKey(under, payload crypt.SymKey) []byte {
@@ -223,6 +254,64 @@ func (SealingEncryptor) DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt
 	return crypt.SymKeyFromBytes(pt)
 }
 
+// EncryptKeyTo implements AppendEncryptor.
+func (SealingEncryptor) EncryptKeyTo(dst []byte, under, payload crypt.SymKey) []byte {
+	return sealKeyTo(legacySuite(), dst, under, payload)
+}
+
+// KeyCiphertextLen implements AppendEncryptor.
+func (SealingEncryptor) KeyCiphertextLen() int { return crypt.SymKeyLen + crypt.SealOverhead }
+
+func legacySuite() crypt.Suite {
+	s, err := crypt.SuiteByID(crypt.SuiteLegacy)
+	if err != nil {
+		panic(err) // legacy is always registered
+	}
+	return s
+}
+
+// SuiteEncryptor wraps keys with a negotiated cipher suite — the
+// datapath form of SealingEncryptor. A zero SuiteEncryptor is invalid;
+// construct with NewSuiteEncryptor.
+type SuiteEncryptor struct {
+	suite crypt.Suite
+}
+
+var _ AppendEncryptor = SuiteEncryptor{}
+
+// NewSuiteEncryptor returns an encryptor wrapping keys with s.
+func NewSuiteEncryptor(s crypt.Suite) SuiteEncryptor {
+	if s == nil {
+		s = legacySuite()
+	}
+	return SuiteEncryptor{suite: s}
+}
+
+// Suite returns the wrapped cipher suite.
+func (e SuiteEncryptor) Suite() crypt.Suite { return e.suite }
+
+// EncryptKey implements Encryptor.
+func (e SuiteEncryptor) EncryptKey(under, payload crypt.SymKey) []byte {
+	return e.suite.Seal(under, payload[:])
+}
+
+// DecryptKey implements Encryptor.
+func (e SuiteEncryptor) DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt.SymKey, error) {
+	pt, err := e.suite.Open(under, ciphertext)
+	if err != nil {
+		return crypt.SymKey{}, err
+	}
+	return crypt.SymKeyFromBytes(pt)
+}
+
+// EncryptKeyTo implements AppendEncryptor.
+func (e SuiteEncryptor) EncryptKeyTo(dst []byte, under, payload crypt.SymKey) []byte {
+	return sealKeyTo(e.suite, dst, under, payload)
+}
+
+// KeyCiphertextLen implements AppendEncryptor.
+func (e SuiteEncryptor) KeyCiphertextLen() int { return crypt.SymKeyLen + e.suite.Overhead() }
+
 // AccountingEncryptor produces ciphertexts of exactly key length with no
 // overhead — the paper's bandwidth accounting (§V-C counts 16 bytes per
 // encrypted key). It provides NO confidentiality: ciphertext is keyed XOR,
@@ -230,7 +319,7 @@ func (SealingEncryptor) DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt
 // Only size and message-structure experiments may use it.
 type AccountingEncryptor struct{}
 
-var _ Encryptor = AccountingEncryptor{}
+var _ AppendEncryptor = AccountingEncryptor{}
 
 // EncryptKey implements Encryptor.
 func (AccountingEncryptor) EncryptKey(under, payload crypt.SymKey) []byte {
@@ -240,6 +329,17 @@ func (AccountingEncryptor) EncryptKey(under, payload crypt.SymKey) []byte {
 	}
 	return out
 }
+
+// EncryptKeyTo implements AppendEncryptor.
+func (AccountingEncryptor) EncryptKeyTo(dst []byte, under, payload crypt.SymKey) []byte {
+	for i := 0; i < crypt.SymKeyLen; i++ {
+		dst = append(dst, payload[i]^under[i])
+	}
+	return dst
+}
+
+// KeyCiphertextLen implements AppendEncryptor.
+func (AccountingEncryptor) KeyCiphertextLen() int { return crypt.SymKeyLen }
 
 // DecryptKey implements Encryptor.
 func (AccountingEncryptor) DecryptKey(under crypt.SymKey, ciphertext []byte) (crypt.SymKey, error) {

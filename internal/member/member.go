@@ -64,6 +64,11 @@ type Config struct {
 	// authenticator). Incoming data is decrypted per the cipher each
 	// packet declares.
 	DataCipher wire.DataCipher
+	// Suites is the bitmask of cipher suites this member is willing to
+	// speak (1 << crypt.SuiteID), advertised during join/rejoin
+	// negotiation. Zero means every registered suite. A controller whose
+	// area runs a suite outside this mask denies admission.
+	Suites uint64
 	// Timing; zero values take the defaults.
 	TActive   time.Duration
 	TIdle     time.Duration
@@ -97,6 +102,9 @@ func (cfg *Config) fillDefaults() error {
 	}
 	if cfg.DataCipher == 0 {
 		cfg.DataCipher = wire.CipherAES
+	}
+	if cfg.Suites == 0 {
+		cfg.Suites = crypt.AllSuitesMask()
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -144,6 +152,9 @@ type Member struct {
 	backupAddr string
 	backupPub  crypt.PublicKey
 	view       *keytree.MemberView
+	// suite is the area's negotiated cipher suite from the last welcome;
+	// it seals outgoing data keys and opens incoming ones.
+	suite      crypt.Suite
 	ticketBlob []byte
 	directory  []wire.ACInfo
 
@@ -284,7 +295,11 @@ func (m *Member) Send(payload []byte) error {
 		case wire.CipherRC4:
 			body = crypt.RC4XOR(dataKey, append([]byte(nil), payload...))
 		default:
-			body = crypt.Seal(dataKey, payload)
+			if s, ok := payloadSuite(m.cfg.DataCipher); ok {
+				body = s.Seal(dataKey, payload)
+			} else {
+				body = crypt.Seal(dataKey, payload)
+			}
 		}
 		d := wire.Data{
 			Origin:     m.cfg.ID,
@@ -292,7 +307,7 @@ func (m *Member) Send(payload []byte) error {
 			Seq:        m.dataSeq,
 			FromArea:   m.areaID,
 			Cipher:     m.cfg.DataCipher,
-			EncKey:     crypt.Seal(m.view.AreaKey(), dataKey[:]),
+			EncKey:     m.suite.Seal(m.view.AreaKey(), dataKey[:]),
 			Payload:    body,
 		}
 		body, err := wire.PlainBody(d)
@@ -311,6 +326,21 @@ func (m *Member) Send(payload []byte) error {
 		return err
 	}
 	return sendErr
+}
+
+// payloadSuite maps an AEAD payload-cipher selector to its crypt suite.
+// CipherAES (the legacy HMAC construction) and CipherRC4 are handled by
+// their original paths and return false.
+func payloadSuite(c wire.DataCipher) (crypt.Suite, bool) {
+	switch c {
+	case wire.CipherGCM:
+		s, err := crypt.SuiteByID(crypt.SuiteAESGCM)
+		return s, err == nil
+	case wire.CipherChaCha:
+		s, err := crypt.SuiteByID(crypt.SuiteChaCha20Poly1305)
+		return s, err == nil
+	}
+	return nil, false
 }
 
 // Connected reports whether the member is attached to an area.

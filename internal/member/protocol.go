@@ -95,6 +95,7 @@ func (m *Member) handleJoinGrant(f *wire.Frame) {
 		ClientAddr:   m.cfg.Transport.Addr(),
 		NonceACPlus2: g.NonceACPlus1 + 1,
 		NonceCA:      m.op.nonceCA,
+		SuiteMask:    m.cfg.Suites,
 	})
 }
 
@@ -113,7 +114,10 @@ func (m *Member) handleJoinWelcome(f *wire.Frame) {
 		m.failOp(fmt.Errorf("%w: controller failed nonce check", ErrDenied))
 		return
 	}
-	m.attach(m.op.acID, m.op.acAddr, m.op.acPub, w.AreaID, w.Path, w.Epoch, w.TicketBlob, w.BackupAddr, w.BackupPub)
+	if err := m.attach(m.op.acID, m.op.acAddr, m.op.acPub, w.AreaID, w.Path, w.Epoch, w.TicketBlob, w.BackupAddr, w.BackupPub, w.Suite); err != nil {
+		m.failOp(err)
+		return
+	}
 	m.completeOp(nil)
 }
 
@@ -174,6 +178,7 @@ func (m *Member) startRejoin(acID string, errc chan error) {
 		ClientAddr: m.cfg.Transport.Addr(),
 		NonceCB:    m.op.nonceCB,
 		TicketBlob: m.ticketBlob,
+		SuiteMask:  m.cfg.Suites,
 	})
 }
 
@@ -212,7 +217,10 @@ func (m *Member) handleRejoinWelcome(f *wire.Frame) {
 	if err := wire.OpenBody(m.cfg.Keys, f.Body, &w); err != nil {
 		return
 	}
-	m.attach(m.op.acID, m.op.acAddr, m.op.acPub, w.AreaID, w.Path, w.Epoch, w.TicketBlob, w.BackupAddr, w.BackupPub)
+	if err := m.attach(m.op.acID, m.op.acAddr, m.op.acPub, w.AreaID, w.Path, w.Epoch, w.TicketBlob, w.BackupAddr, w.BackupPub, w.Suite); err != nil {
+		m.failOp(err)
+		return
+	}
 	m.completeOp(nil)
 }
 
@@ -229,16 +237,28 @@ func (m *Member) handleRejoinDenied(f *wire.Frame) {
 	m.failOp(fmt.Errorf("%w: %s", ErrDenied, d.Reason))
 }
 
-// attach installs area state after a successful join or rejoin.
+// attach installs area state after a successful join or rejoin. The
+// welcome names the area's cipher suite; a suite we do not speak (or do
+// not link) makes the admission unusable, so it fails here rather than
+// leaving the member decoding garbage.
 func (m *Member) attach(acID, acAddr string, acPub crypt.PublicKey, areaID string,
-	path []keytree.PathKey, epoch uint64, ticketBlob []byte, backupAddr string, backupPubDER []byte) {
+	path []keytree.PathKey, epoch uint64, ticketBlob []byte, backupAddr string, backupPubDER []byte,
+	suiteID crypt.SuiteID) error {
 
+	suite, err := crypt.SuiteByID(suiteID)
+	if err != nil {
+		return fmt.Errorf("%w: area negotiated unknown cipher suite %d", ErrDenied, uint8(suiteID))
+	}
+	if suite.ID().Mask()&m.cfg.Suites == 0 {
+		return fmt.Errorf("%w: area negotiated cipher suite %s outside our advertised set", ErrDenied, suite.Name())
+	}
 	m.connected = true
 	m.acID = acID
 	m.acAddr = acAddr
 	m.acPub = acPub
 	m.areaID = areaID
-	m.view = keytree.NewMemberView(path, epoch, keytree.SealingEncryptor{})
+	m.suite = suite
+	m.view = keytree.NewMemberView(path, epoch, keytree.NewSuiteEncryptor(suite))
 	if len(ticketBlob) > 0 {
 		m.ticketBlob = ticketBlob
 	}
@@ -252,7 +272,8 @@ func (m *Member) attach(acID, acAddr string, acPub crypt.PublicKey, areaID strin
 	now := m.clk.Now()
 	m.lastACRecv = now
 	m.lastSent = now
-	m.cfg.Logf("%s: attached to area %s via %s (epoch %d)", m.cfg.ID, m.areaID, acID, epoch)
+	m.cfg.Logf("%s: attached to area %s via %s (epoch %d, suite %s)", m.cfg.ID, m.areaID, acID, epoch, suite.Name())
+	return nil
 }
 
 // detach marks the member disconnected. The area view, ticket, and backup

@@ -63,7 +63,7 @@ func (m *Member) handleData(f *wire.Frame) {
 	if d.FromArea != m.areaID {
 		return // sealed for a different area's key
 	}
-	raw, err := crypt.Open(m.view.AreaKey(), d.EncKey)
+	raw, err := m.suite.Open(m.view.AreaKey(), d.EncKey)
 	if err != nil {
 		m.cfg.Logf("%s: cannot open data key (stale area key?): %v", m.cfg.ID, err)
 		m.requestPath()
@@ -78,7 +78,11 @@ func (m *Member) handleData(f *wire.Frame) {
 	case wire.CipherRC4:
 		payload = crypt.RC4XOR(dataKey, append([]byte(nil), d.Payload...))
 	default:
-		payload, err = crypt.Open(dataKey, d.Payload)
+		if s, ok := payloadSuite(d.Cipher); ok {
+			payload, err = s.Open(dataKey, d.Payload)
+		} else {
+			payload, err = crypt.Open(dataKey, d.Payload)
+		}
 		if err != nil {
 			return
 		}

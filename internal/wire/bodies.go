@@ -3,6 +3,7 @@ package wire
 import (
 	"time"
 
+	"mykil/internal/crypt"
 	"mykil/internal/keytree"
 	"mykil/internal/wire/codec"
 )
@@ -190,7 +191,8 @@ func (m JoinToAC) AppendWire(b []byte) []byte {
 	b = codec.AppendString(b, m.ClientID)
 	b = codec.AppendString(b, m.ClientAddr)
 	b = codec.AppendUint64(b, m.NonceACPlus2)
-	return codec.AppendUint64(b, m.NonceCA)
+	b = codec.AppendUint64(b, m.NonceCA)
+	return codec.AppendUvarint(b, m.SuiteMask)
 }
 
 // ReadWire implements Unmarshaler.
@@ -199,6 +201,7 @@ func (m *JoinToAC) ReadWire(r *codec.Reader) error {
 	m.ClientAddr = r.String()
 	m.NonceACPlus2 = r.Uint64()
 	m.NonceCA = r.Uint64()
+	m.SuiteMask = r.Uvarint()
 	return r.Err()
 }
 
@@ -210,7 +213,8 @@ func (m JoinWelcome) AppendWire(b []byte) []byte {
 	b = codec.AppendUvarint(b, m.Epoch)
 	b = codec.AppendString(b, m.AreaID)
 	b = codec.AppendString(b, m.BackupAddr)
-	return codec.AppendBytes(b, m.BackupPub)
+	b = codec.AppendBytes(b, m.BackupPub)
+	return codec.AppendUvarint(b, uint64(m.Suite))
 }
 
 // ReadWire implements Unmarshaler.
@@ -225,6 +229,7 @@ func (m *JoinWelcome) ReadWire(r *codec.Reader) error {
 	m.AreaID = r.String()
 	m.BackupAddr = r.String()
 	m.BackupPub = r.Bytes()
+	m.Suite = crypt.SuiteID(r.Uvarint())
 	return r.Err()
 }
 
@@ -248,7 +253,8 @@ func (m RejoinRequest) AppendWire(b []byte) []byte {
 	b = codec.AppendString(b, m.ClientID)
 	b = codec.AppendString(b, m.ClientAddr)
 	b = codec.AppendUint64(b, m.NonceCB)
-	return codec.AppendBytes(b, m.TicketBlob)
+	b = codec.AppendBytes(b, m.TicketBlob)
+	return codec.AppendUvarint(b, m.SuiteMask)
 }
 
 // ReadWire implements Unmarshaler.
@@ -257,6 +263,7 @@ func (m *RejoinRequest) ReadWire(r *codec.Reader) error {
 	m.ClientAddr = r.String()
 	m.NonceCB = r.Uint64()
 	m.TicketBlob = r.Bytes()
+	m.SuiteMask = r.Uvarint()
 	return r.Err()
 }
 
@@ -323,7 +330,8 @@ func (m RejoinWelcome) AppendWire(b []byte) []byte {
 	b = codec.AppendUvarint(b, m.Epoch)
 	b = codec.AppendString(b, m.AreaID)
 	b = codec.AppendString(b, m.BackupAddr)
-	return codec.AppendBytes(b, m.BackupPub)
+	b = codec.AppendBytes(b, m.BackupPub)
+	return codec.AppendUvarint(b, uint64(m.Suite))
 }
 
 // ReadWire implements Unmarshaler.
@@ -337,6 +345,7 @@ func (m *RejoinWelcome) ReadWire(r *codec.Reader) error {
 	m.AreaID = r.String()
 	m.BackupAddr = r.String()
 	m.BackupPub = r.Bytes()
+	m.Suite = crypt.SuiteID(r.Uvarint())
 	return r.Err()
 }
 
@@ -467,7 +476,8 @@ func (m AreaJoinReq) AppendWire(b []byte) []byte {
 	b = codec.AppendString(b, m.ACID)
 	b = codec.AppendString(b, m.ACAddr)
 	b = codec.AppendString(b, m.AreaID)
-	return codec.AppendTime(b, m.Timestamp)
+	b = codec.AppendTime(b, m.Timestamp)
+	return codec.AppendUvarint(b, m.SuiteMask)
 }
 
 // ReadWire implements Unmarshaler.
@@ -476,6 +486,7 @@ func (m *AreaJoinReq) ReadWire(r *codec.Reader) error {
 	m.ACAddr = r.String()
 	m.AreaID = r.String()
 	m.Timestamp = r.Time()
+	m.SuiteMask = r.Uvarint()
 	return r.Err()
 }
 
@@ -485,7 +496,8 @@ func (m AreaJoinAck) AppendWire(b []byte) []byte {
 	b = codec.AppendString(b, m.ParentAreaID)
 	b = keytree.AppendPathKeys(b, m.Path)
 	b = codec.AppendUvarint(b, m.Epoch)
-	return codec.AppendTime(b, m.Timestamp)
+	b = codec.AppendTime(b, m.Timestamp)
+	return codec.AppendUvarint(b, uint64(m.Suite))
 }
 
 // ReadWire implements Unmarshaler.
@@ -498,6 +510,7 @@ func (m *AreaJoinAck) ReadWire(r *codec.Reader) error {
 	}
 	m.Epoch = r.Uvarint()
 	m.Timestamp = r.Time()
+	m.Suite = crypt.SuiteID(r.Uvarint())
 	return r.Err()
 }
 

@@ -60,20 +60,22 @@ func goldenBodies() map[Kind]Marshaler {
 		KindJoinRefer: JoinRefer{NonceAC: 99, ClientID: "c1", ClientAddr: "10.0.0.9:1",
 			Timestamp: goldenTime, ClientPub: []byte{1, 2, 3}, Duration: 90 * time.Minute},
 		KindJoinGrant: JoinGrant{NonceACPlus1: 100, AC: acA, Directory: []ACInfo{acA, acB}},
-		KindJoinToAC:  JoinToAC{ClientID: "c1", ClientAddr: "10.0.0.9:1", NonceACPlus2: 101, NonceCA: 7},
+		KindJoinToAC: JoinToAC{ClientID: "c1", ClientAddr: "10.0.0.9:1", NonceACPlus2: 101, NonceCA: 7,
+			SuiteMask: 0x7},
 		KindJoinWelcome: JoinWelcome{NonceCAPlus1: 8, TicketBlob: []byte{0x54, 0x4B},
 			Path: goldenPath(), Epoch: 12, AreaID: "area-0",
-			BackupAddr: "10.0.0.3:7000", BackupPub: []byte{0xC1}},
+			BackupAddr: "10.0.0.3:7000", BackupPub: []byte{0xC1}, Suite: crypt.SuiteAESGCM},
 		KindJoinDenied: JoinDenied{ClientID: "c1", Reason: "no"},
 		KindRejoinRequest: RejoinRequest{ClientID: "c1", ClientAddr: "10.0.0.9:2",
-			NonceCB: 200, TicketBlob: []byte{0x54, 0x4B}},
+			NonceCB: 200, TicketBlob: []byte{0x54, 0x4B}, SuiteMask: 0x7},
 		KindRejoinChallenge: RejoinChallenge{NonceCBPlus1: 201, NonceBC: 77},
 		KindRejoinResponse:  RejoinResponse{ClientID: "c1", NonceBCPlus1: 78},
 		KindRejoinVerifyReq: RejoinVerifyReq{ClientID: "c1", Timestamp: goldenTime},
 		KindRejoinVerifyResp: RejoinVerifyResp{ClientID: "c1", StillMember: true,
 			TicketBlob: []byte{0x54}, Timestamp: goldenTime},
 		KindRejoinWelcome: RejoinWelcome{TicketBlob: []byte{0x54, 0x4B}, Path: goldenPath(),
-			Epoch: 13, AreaID: "area-1", BackupAddr: "10.0.0.4:7000", BackupPub: []byte{0xC2}},
+			Epoch: 13, AreaID: "area-1", BackupAddr: "10.0.0.4:7000", BackupPub: []byte{0xC2},
+			Suite: crypt.SuiteChaCha20Poly1305},
 		KindRejoinDenied: RejoinDenied{ClientID: "c1", Reason: "cohort"},
 		KindData: Data{Origin: "m1", OriginArea: "area-0", Seq: 5, FromArea: "area-1",
 			Cipher: CipherAES, EncKey: []byte{9, 9, 9}, Payload: []byte("payload")},
@@ -87,9 +89,9 @@ func goldenBodies() map[Kind]Marshaler {
 		KindLeaveNotice: LeaveNotice{MemberID: "m1"},
 		KindPathRequest: PathRequest{MemberID: "m1", Epoch: 17},
 		KindAreaJoinReq: AreaJoinReq{ACID: "ac-b", ACAddr: "10.0.0.2:7000",
-			AreaID: "area-1", Timestamp: goldenTime},
+			AreaID: "area-1", Timestamp: goldenTime, SuiteMask: 0x7},
 		KindAreaJoinAck: AreaJoinAck{ParentID: "ac-a", ParentAreaID: "area-0",
-			Path: goldenPath(), Epoch: 18, Timestamp: goldenTime},
+			Path: goldenPath(), Epoch: 18, Timestamp: goldenTime, Suite: crypt.SuiteAESGCM},
 		KindAreaJoinDenied:   AreaJoinDenied{ACID: "ac-b", Reason: "full"},
 		KindReplicaSync:      ReplicaSync{AreaID: "area-0", Seq: 19, State: []byte{0x5A, 0x5B, 0x5C}},
 		KindReplicaHeartbeat: ReplicaHeartbeat{AreaID: "area-0", Seq: 20},

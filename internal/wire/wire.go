@@ -306,6 +306,10 @@ type JoinToAC struct {
 	ClientAddr   string
 	NonceACPlus2 uint64
 	NonceCA      uint64
+	// SuiteMask advertises the cipher suites the client speaks
+	// (bit 1<<SuiteID). Zero — including every pre-negotiation frame —
+	// means legacy-only.
+	SuiteMask uint64
 }
 
 // JoinWelcome is step 7, AC to client:
@@ -319,6 +323,10 @@ type JoinWelcome struct {
 	// Backup lets members recognize a legitimate failover (§IV-C).
 	BackupAddr string
 	BackupPub  []byte // DER
+	// Suite is the cipher suite the area runs; all subsequent rekey and
+	// EncKey sealing between this member and the AC uses it. Zero
+	// (SuiteLegacy) is the compatibility default.
+	Suite crypt.SuiteID
 }
 
 // JoinDenied refuses a join at any step.
@@ -335,6 +343,8 @@ type RejoinRequest struct {
 	ClientAddr string
 	NonceCB    uint64
 	TicketBlob []byte
+	// SuiteMask advertises the client's cipher suites, as in JoinToAC.
+	SuiteMask uint64
 }
 
 // RejoinChallenge is step 2: {Nonce_CB+1; Nonce_BC; MAC}_Pub_k.
@@ -376,6 +386,8 @@ type RejoinWelcome struct {
 	AreaID     string
 	BackupAddr string
 	BackupPub  []byte
+	// Suite is the cipher suite of the area being rejoined.
+	Suite crypt.SuiteID
 }
 
 // RejoinDenied refuses a rejoin.
@@ -396,6 +408,12 @@ const (
 	// no per-payload authenticator. Confidentiality-only, kept for
 	// fidelity with the prototype's PDA experiments.
 	CipherRC4
+	// CipherGCM protects the payload with the aes-gcm cipher suite
+	// (crypt.SuiteAESGCM sealed blob).
+	CipherGCM
+	// CipherChaCha protects the payload with the chacha20-poly1305
+	// cipher suite (crypt.SuiteChaCha20Poly1305 sealed blob).
+	CipherChaCha
 )
 
 // Data is one multicast data packet: payload encrypted under a random key
@@ -467,6 +485,9 @@ type AreaJoinReq struct {
 	ACAddr    string
 	AreaID    string
 	Timestamp time.Time
+	// SuiteMask advertises the orphan AC's cipher suites; zero means
+	// legacy-only.
+	SuiteMask uint64
 }
 
 // AreaJoinAck admits the orphan AC as a member of the parent area,
@@ -477,6 +498,9 @@ type AreaJoinAck struct {
 	Path         []keytree.PathKey
 	Epoch        uint64
 	Timestamp    time.Time
+	// Suite is the parent area's cipher suite: the child applies parent
+	// KeyUpdates and re-seals up-forwarded EncKeys with it.
+	Suite crypt.SuiteID
 }
 
 // AreaJoinDenied refuses an area join.
